@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark harness: CLI parsing, repetition with
+// median/CI summaries, and the scaled-workload setup that lets the cost
+// model charge the paper's full problem sizes while the process executes a
+// proportional sample (see DESIGN.md, "virtual workload mode").
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "net/machine.h"
+#include "runtime/comm.h"
+#include "runtime/team.h"
+
+namespace hds::bench {
+
+/// "--key=value" / "--flag" command-line arguments.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string s = argv[i];
+      if (s.rfind("--", 0) != 0) continue;
+      s = s.substr(2);
+      const auto eq = s.find('=');
+      if (eq == std::string::npos)
+        kv_[s] = "1";
+      else
+        kv_[s.substr(0, eq)] = s.substr(eq + 1);
+    }
+  }
+
+  i64 get_int(const std::string& key, i64 fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::stoll(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::stod(it->second);
+  }
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Paper-style measurement: `reps` measured runs, reporting the median and
+/// the 95% CI of the median. The paper additionally excluded a warmup run;
+/// simulated time is deterministic per seed, so a warmup would only burn
+/// wall-clock — enable it explicitly when measuring real time.
+template <class RunFn>
+Summary measure(int reps, RunFn run, bool warmup = false) {
+  if (warmup) (void)run(/*rep=*/-1);
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) times.push_back(run(r));
+  return summarize(std::move(times));
+}
+
+/// Node counts 1, 2, 4, ..., max (the paper's strong/weak scaling x-axis).
+inline std::vector<int> node_series(int max_nodes) {
+  std::vector<int> nodes;
+  for (int n = 1; n <= max_nodes; n *= 2) nodes.push_back(n);
+  return nodes;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace hds::bench

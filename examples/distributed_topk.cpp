@@ -1,0 +1,70 @@
+// Distributed order statistics without a full sort — the dash::nth_element
+// building block the paper's discussion section highlights: "we can reuse
+// our distributed selection implementation as a building block in other
+// DASH algorithms, e.g. dash::nth_element."
+//
+// A stream of latency samples is distributed over the ranks; the example
+// computes the median, p99 and p99.9 latencies and the global top-k
+// threshold with hds::core::nth_element (Alg. 1, weighted-median
+// selection) — touching each element O(log P) times instead of sorting.
+//
+//   ./distributed_topk [--ranks=16] [--samples-per-rank=200000]
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/histogram_sort.h"
+#include "runtime/team.h"
+
+int main(int argc, char** argv) {
+  using namespace hds;
+  int ranks = 16;
+  usize per_rank = 200000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ranks=", 0) == 0) ranks = std::stoi(arg.substr(8));
+    if (arg.rfind("--samples-per-rank=", 0) == 0)
+      per_rank = std::stoul(arg.substr(19));
+  }
+
+  runtime::Team team({.nranks = ranks});
+
+  team.run([&](runtime::Comm& comm) {
+    // Log-normal-ish latency distribution in microseconds with a heavy
+    // tail — the classic "find the p99" problem.
+    Xoshiro256 rng(hash_mix(99, comm.rank()));
+    std::vector<double> latency(per_rank);
+    for (auto& v : latency) {
+      const double base = std::exp(rng.normal() * 0.8 + 3.0);
+      v = base + (rng.uniform01() < 0.001 ? rng.exponential(0.01) : 0.0);
+    }
+
+    const u64 n = comm.allreduce_value<u64>(latency.size(),
+                                            [](u64 a, u64 b) { return a + b; });
+    auto quantile = [&](double q) {
+      const usize k = std::min<usize>(static_cast<usize>(q * n), n - 1);
+      return core::nth_element(comm, std::span<double>(latency), k);
+    };
+
+    const double p50 = quantile(0.50);
+    const double p99 = quantile(0.99);
+    const double p999 = quantile(0.999);
+    // Top-k threshold: the k-th largest value.
+    const usize k = 100;
+    const double topk = core::nth_element(comm, std::span<double>(latency),
+                                          n - k);
+
+    if (comm.rank() == 0) {
+      std::cout << "distributed order statistics over " << n
+                << " samples on " << comm.size() << " ranks:\n"
+                << "  p50   = " << p50 << " us\n"
+                << "  p99   = " << p99 << " us\n"
+                << "  p99.9 = " << p999 << " us\n"
+                << "  top-" << k << " threshold = " << topk << " us\n";
+      HDS_CHECK(p50 <= p99 && p99 <= p999 && p999 <= topk + 1e9);
+    }
+  });
+
+  std::cout << "simulated makespan: " << team.stats().makespan_s << " s\n";
+  return 0;
+}

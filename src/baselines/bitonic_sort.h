@@ -1,0 +1,78 @@
+// Batcher bitonic sort generalized to N/P > 1 (Sec. III-C): local sort, then
+// log2(P) * (log2(P)+1) / 2 compare-exchange rounds; in each round a rank
+// swaps its full partition with a hypercube partner and keeps the lower or
+// upper half of the pairwise merge. Transfers the data O(log^2 P) times —
+// the reason it cannot keep up with sample/histogram sorts when N/P >> 1.
+//
+// Constraints (inherent to the network): power-of-two rank count and equal
+// partition sizes.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "core/local_sort.h"
+#include "runtime/comm.h"
+
+namespace hds::baselines {
+
+struct BitonicStats {
+  usize rounds = 0;
+};
+
+/// Bitonic sort of a distributed vector; every rank must hold the same
+/// number of elements and the rank count must be a power of two.
+template <class T>
+BitonicStats bitonic_sort(runtime::Comm& comm, std::vector<T>& local) {
+  auto identity = [](const T& v) { return v; };
+  const int P = comm.size();
+  if (!is_pow2(static_cast<u64>(P)))
+    throw argument_error("bitonic_sort: P must be a power of two");
+  const u64 n0 = comm.allreduce_value<u64>(
+      local.size(), [](u64 a, u64 b) { return std::max(a, b); });
+  const u64 n1 = comm.allreduce_value<u64>(
+      local.size(), [](u64 a, u64 b) { return std::min(a, b); });
+  if (n0 != n1)
+    throw argument_error("bitonic_sort: equal partition sizes required");
+
+  BitonicStats stats;
+  {
+    net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
+    core::local_sort(comm, local, identity);
+  }
+  if (P == 1 || local.empty()) return stats;
+
+  net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
+  const int d = static_cast<int>(log2_ceil(static_cast<u64>(P)));
+  const usize n = local.size();
+  std::vector<T> merged(2 * n);
+
+  for (int stage = 1; stage <= d; ++stage) {
+    for (int step = stage; step >= 1; --step) {
+      ++stats.rounds;
+      const int partner = comm.rank() ^ (1 << (step - 1));
+      // Ascending iff the stage-th bit of the rank is 0.
+      const bool ascending = ((comm.rank() >> stage) & 1) == 0;
+      const bool keep_low = ascending == (comm.rank() < partner);
+
+      comm.send(partner, /*tag=*/stats.rounds,
+                std::span<const T>(local.data(), local.size()));
+      const std::vector<T> theirs = comm.recv<T>(partner, stats.rounds);
+      HDS_CHECK(theirs.size() == n);
+
+      std::merge(local.begin(), local.end(), theirs.begin(), theirs.end(),
+                 merged.begin());
+      comm.charge_merge_pass(2 * n);
+      if (keep_low)
+        std::copy(merged.begin(), merged.begin() + n, local.begin());
+      else
+        std::copy(merged.begin() + n, merged.end(), local.begin());
+    }
+  }
+  return stats;
+}
+
+}  // namespace hds::baselines

@@ -1,0 +1,36 @@
+// Bit-level helpers used by key bisection, Morton encoding and the cost
+// model. All functions are constexpr and branch-free where it matters.
+#pragma once
+
+#include <bit>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace hds {
+
+/// ceil(log2(x)) for x >= 1; log2_ceil(1) == 0.
+constexpr u32 log2_ceil(u64 x) {
+  return x <= 1 ? 0u : 64u - static_cast<u32>(std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr u32 log2_floor(u64 x) {
+  return x <= 1 ? 0u : 63u - static_cast<u32>(std::countl_zero(x));
+}
+
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr u64 next_pow2(u64 x) { return x <= 1 ? 1 : u64{1} << log2_ceil(x); }
+
+/// Integer ceil division for non-negative values.
+template <class T>
+constexpr T div_ceil(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Midpoint of two unsigned values without overflow; rounds down.
+constexpr u64 midpoint_u64(u64 lo, u64 hi) { return lo + (hi - lo) / 2; }
+
+}  // namespace hds

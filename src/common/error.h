@@ -1,0 +1,57 @@
+// Error handling: always-on checked invariants (HDS_CHECK) and debug-only
+// assertions (HDS_ASSERT). Violations throw so tests can observe them and a
+// rank failure unwinds cleanly through the Team instead of aborting the
+// whole process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hds {
+
+/// Thrown when a checked invariant fails.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on invalid user-supplied arguments (sizes, configs, ...).
+class argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hds
+
+#define HDS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::hds::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define HDS_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream hds_os_;                                    \
+      hds_os_ << msg;                                                \
+      ::hds::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  hds_os_.str());                    \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define HDS_ASSERT(expr) ((void)0)
+#else
+#define HDS_ASSERT(expr) HDS_CHECK(expr)
+#endif

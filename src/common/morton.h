@@ -1,0 +1,70 @@
+// Morton (Z-order) encoding: interleaves coordinate bits so that sorting by
+// the resulting code yields a space-filling-curve order. Used by the N-body
+// load-balancing example, exactly the use case the paper's introduction
+// motivates.
+#pragma once
+
+#include "common/types.h"
+
+namespace hds {
+
+namespace detail {
+// Spread the low 21 bits of x so there are two zero bits between each.
+constexpr u64 spread3(u64 x) {
+  x &= 0x1fffffULL;  // 21 bits
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+// Spread the low 32 bits of x so there is one zero bit between each.
+constexpr u64 spread2(u64 x) {
+  x &= 0xffffffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+constexpr u64 compact3(u64 x) {
+  x &= 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x ^ (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x ^ (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x ^ (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x ^ (x >> 32)) & 0x1fffffULL;
+  return x;
+}
+}  // namespace detail
+
+/// 3D Morton code from 21-bit coordinates (63 bits used).
+constexpr u64 morton3(u32 x, u32 y, u32 z) {
+  return detail::spread3(x) | (detail::spread3(y) << 1) |
+         (detail::spread3(z) << 2);
+}
+
+/// 2D Morton code from 32-bit coordinates.
+constexpr u64 morton2(u32 x, u32 y) {
+  return detail::spread2(x) | (detail::spread2(y) << 1);
+}
+
+/// Inverse of morton3 for one axis (axis = 0, 1 or 2).
+constexpr u32 morton3_axis(u64 code, int axis) {
+  return static_cast<u32>(detail::compact3(code >> axis));
+}
+
+/// Quantize a coordinate in [lo, hi] onto the 21-bit Morton grid.
+constexpr u32 morton_quantize(double v, double lo, double hi) {
+  constexpr double kMax = 2097151.0;  // 2^21 - 1
+  if (v <= lo) return 0;
+  if (v >= hi) return static_cast<u32>(kMax);
+  const double t = (v - lo) / (hi - lo);
+  return static_cast<u32>(t * kMax);
+}
+
+}  // namespace hds

@@ -1,0 +1,118 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// SplitMix64 seeds streams; Xoshiro256** generates the bulk. Every rank of a
+// Team derives an independent stream from (seed, rank) so workloads are
+// reproducible regardless of thread scheduling.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "common/types.h"
+
+namespace hds {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to seed other engines
+/// and for stateless hashing of (seed, index) pairs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Stateless mix of two words; handy for deriving per-rank seeds.
+constexpr u64 hash_mix(u64 a, u64 b) {
+  SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL));
+  return sm.next();
+}
+
+/// Xoshiro256**: fast general-purpose engine with 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~u64{0}; }
+
+  result_type operator()() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform u64 in [lo, hi] inclusive (Lemire-style rejection-free for our
+  /// purposes; bias is negligible for the ranges we use, but we reject to be
+  /// exact).
+  u64 uniform_u64(u64 lo, u64 hi) {
+    const u64 range = hi - lo;
+    if (range == ~u64{0}) return (*this)();
+    const u64 span = range + 1;
+    const u64 limit = (~u64{0}) - (~u64{0}) % span;
+    u64 x;
+    do {
+      x = (*this)();
+    } while (x >= limit && limit != 0);
+    return lo + (x % span);
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) {
+    double u = 0.0;
+    while (u == 0.0) u = uniform01();
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace hds

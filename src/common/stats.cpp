@@ -1,0 +1,62 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hds {
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const usize n = xs.size();
+  return (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  HDS_CHECK(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const usize lo = static_cast<usize>(pos);
+  const usize hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.mean = mean(xs);
+  const usize n = xs.size();
+  s.median = (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  // Distribution-free CI for the median via binomial order statistics:
+  // ranks floor((n - 1.96*sqrt(n))/2) and ceil(1 + (n + 1.96*sqrt(n))/2).
+  const double z = 1.96;
+  const double sq = z * std::sqrt(static_cast<double>(n));
+  auto clamp_idx = [&](double v) {
+    if (v < 0.0) return usize{0};
+    if (v >= static_cast<double>(n)) return n - 1;
+    return static_cast<usize>(v);
+  };
+  const usize lo_idx = clamp_idx(std::floor((static_cast<double>(n) - sq) / 2.0));
+  const usize hi_idx = clamp_idx(std::ceil((static_cast<double>(n) + sq) / 2.0));
+  s.ci_lo = xs[lo_idx];
+  s.ci_hi = xs[hi_idx];
+  return s;
+}
+
+}  // namespace hds

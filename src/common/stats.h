@@ -1,0 +1,36 @@
+// Small statistics helpers for the benchmark harness: median, mean,
+// percentile and the 95% confidence interval of the median, matching how the
+// paper reports measurements ("median of 10 executions along with the 95%
+// confidence interval").
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace hds {
+
+struct Summary {
+  double median = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci_lo = 0.0;  ///< lower bound of the 95% CI of the median
+  double ci_hi = 0.0;  ///< upper bound of the 95% CI of the median
+  usize n = 0;
+};
+
+/// Median of a sample (copies, does not reorder the input).
+double median(std::vector<double> xs);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Full summary including a distribution-free (order-statistic) 95%
+/// confidence interval for the median.
+Summary summarize(std::vector<double> xs);
+
+}  // namespace hds

@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hds {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HDS_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HDS_CHECK_MSG(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, expected "
+                           << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+          c == 'x'))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_num) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = align_num && looks_numeric(row[c]);
+      os << ' ' << (right ? std::right : std::left)
+         << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_, false);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << ' '
+     << units[u];
+  return os.str();
+}
+
+}  // namespace hds

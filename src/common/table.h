@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harness. Produces aligned
+// columns suitable for terminals and for diffing EXPERIMENTS.md against
+// fresh runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hds {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+std::string fmt(double v, int precision = 3);
+
+/// Format bytes in a human-readable unit (KiB/MiB/GiB).
+std::string fmt_bytes(double bytes);
+
+}  // namespace hds

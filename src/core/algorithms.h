@@ -1,0 +1,184 @@
+// Distributed STL-like algorithms on partitioned data — the DASH-style
+// library surface the paper's implementation lives in ("Inspired by the C++
+// STL concepts we provide containers and algorithms to operate on global
+// data"). Every function is collective over its communicator and operates
+// on this rank's partition span; results are globally consistent on every
+// rank. The selection-based ones reuse dselect (Alg. 1), exactly the reuse
+// the paper advertises for dash::nth_element.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "core/selection.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+/// Global element count.
+template <class T>
+u64 global_size(runtime::Comm& comm, std::span<const T> local) {
+  return comm.allreduce_value<u64>(local.size(),
+                                   [](u64 a, u64 b) { return a + b; });
+}
+
+/// Global minimum; nullopt when the distributed sequence is empty.
+template <class T>
+std::optional<T> min_value(runtime::Comm& comm, std::span<const T> local) {
+  struct Entry {
+    T value;
+    u8 has;
+  };
+  Entry mine{};
+  mine.has = local.empty() ? 0 : 1;
+  if (mine.has) mine.value = *std::min_element(local.begin(), local.end());
+  comm.charge_scan(local.size());
+  std::vector<Entry> all(comm.size());
+  comm.allgather(&mine, 1, all.data());
+  std::optional<T> out;
+  for (const Entry& e : all)
+    if (e.has && (!out || e.value < *out)) out = e.value;
+  return out;
+}
+
+/// Global maximum; nullopt when the distributed sequence is empty.
+template <class T>
+std::optional<T> max_value(runtime::Comm& comm, std::span<const T> local) {
+  struct Entry {
+    T value;
+    u8 has;
+  };
+  Entry mine{};
+  mine.has = local.empty() ? 0 : 1;
+  if (mine.has) mine.value = *std::max_element(local.begin(), local.end());
+  comm.charge_scan(local.size());
+  std::vector<Entry> all(comm.size());
+  comm.allgather(&mine, 1, all.data());
+  std::optional<T> out;
+  for (const Entry& e : all)
+    if (e.has && (!out || *out < e.value)) out = e.value;
+  return out;
+}
+
+/// Global reduction with a commutative, associative op.
+template <class T, class Op>
+T reduce(runtime::Comm& comm, std::span<const T> local, T init, Op op) {
+  T acc = init;
+  for (const T& v : local) acc = op(acc, v);
+  comm.charge_scan(local.size());
+  return comm.allreduce_value<T>(acc, op);
+}
+
+/// Number of elements satisfying the predicate, globally.
+template <class T, class Pred>
+u64 count_if(runtime::Comm& comm, std::span<const T> local, Pred pred) {
+  u64 mine = 0;
+  for (const T& v : local)
+    if (pred(v)) ++mine;
+  comm.charge_scan(local.size());
+  return comm.allreduce_value<u64>(mine, [](u64 a, u64 b) { return a + b; });
+}
+
+/// Number of elements equal to `value`, globally.
+template <class T>
+u64 count(runtime::Comm& comm, std::span<const T> local, const T& value) {
+  return count_if(comm, local, [&](const T& v) { return v == value; });
+}
+
+/// In-place global inclusive prefix sum: element i of the concatenated
+/// sequence becomes the sum of elements 0..i.
+template <class T>
+void inclusive_scan(runtime::Comm& comm, std::span<T> local) {
+  T acc{};
+  for (T& v : local) {
+    acc = acc + v;
+    v = acc;
+  }
+  comm.charge_scan(local.size());
+  const T offset =
+      comm.exscan_value<T>(acc, [](T a, T b) { return a + b; }, T{});
+  if (comm.rank() > 0)
+    for (T& v : local) v = v + offset;
+  comm.charge_scan(local.size());
+}
+
+/// Global median (lower median for even N). Reorders `local`. Throws on an
+/// empty distributed sequence.
+template <class T>
+T median_value(runtime::Comm& comm, std::span<T> local) {
+  const u64 n = global_size(comm, std::span<const T>(local.data(),
+                                                     local.size()));
+  HDS_CHECK_MSG(n > 0, "median of an empty distributed sequence");
+  return dselect(comm, local, (n - 1) / 2);
+}
+
+/// Global q-quantile, q in [0, 1]. Reorders `local`.
+template <class T>
+T quantile(runtime::Comm& comm, std::span<T> local, double q) {
+  HDS_CHECK(q >= 0.0 && q <= 1.0);
+  const u64 n = global_size(comm, std::span<const T>(local.data(),
+                                                     local.size()));
+  HDS_CHECK_MSG(n > 0, "quantile of an empty distributed sequence");
+  const u64 k = std::min<u64>(static_cast<u64>(q * n), n - 1);
+  return dselect(comm, local, k);
+}
+
+/// Fixed-width global histogram over [lo, hi): returns `bins` counts,
+/// identical on every rank. Values outside the range are clamped into the
+/// first/last bin.
+template <class T>
+std::vector<u64> histogram(runtime::Comm& comm, std::span<const T> local,
+                           T lo, T hi, usize bins) {
+  HDS_CHECK(bins >= 1);
+  HDS_CHECK(lo < hi);
+  std::vector<u64> mine(bins, 0);
+  const double width = static_cast<double>(hi - lo) / bins;
+  for (const T& v : local) {
+    const double pos = (static_cast<double>(v) - static_cast<double>(lo)) /
+                       width;
+    const usize b = pos < 0.0 ? 0
+                    : pos >= static_cast<double>(bins)
+                        ? bins - 1
+                        : static_cast<usize>(pos);
+    ++mine[b];
+  }
+  comm.charge_scan(local.size());
+  std::vector<u64> global(bins, 0);
+  comm.allreduce(mine.data(), global.data(), bins,
+                 [](u64 a, u64 b) { return a + b; });
+  return global;
+}
+
+/// Are all partitions globally sorted by `<`? (Convenience overload of
+/// is_globally_sorted for plain key sequences lives in histogram_sort.h.)
+template <class T>
+bool is_sorted(runtime::Comm& comm, std::span<const T> local) {
+  struct Edge {
+    T min, max;
+    u8 has;
+  };
+  const bool local_ok = std::is_sorted(local.begin(), local.end());
+  comm.charge_scan(local.size());
+  Edge mine{};
+  mine.has = local.empty() ? 0 : 1;
+  if (mine.has) {
+    mine.min = local.front();
+    mine.max = local.back();
+  }
+  std::vector<Edge> edges(comm.size());
+  comm.allgather(&mine, 1, edges.data());
+  bool ok = local_ok;
+  const Edge* prev = nullptr;
+  for (const Edge& e : edges) {
+    if (!e.has) continue;
+    if (prev && e.min < prev->max) ok = false;
+    prev = &e;
+  }
+  return comm.allreduce_value<u8>(ok ? 1 : 0,
+                                  [](u8 a, u8 b) -> u8 { return a & b; }) != 0;
+}
+
+}  // namespace hds::core

@@ -1,0 +1,496 @@
+// Data exchange (Sec. V-B, Alg. 4): turn resolved splitters into a global
+// permutation matrix, refine tie boundaries so every output partition meets
+// its exact capacity, and perform the ALL-TO-ALLV.
+//
+// Communication structure mirrors the paper: two O(P)-per-rank ALL-TO-ALL
+// collectives to distribute histogram bounds and refined send counts
+// (processor j is responsible for "row j" — boundary j — of the matrix),
+// followed by the single ALL-TO-ALLV moving the keys. Data is moved exactly
+// once, the design property the paper leans on for NUMA friendliness.
+#pragma once
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "core/multiselect.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+template <class T>
+struct ExchangeResult {
+  std::vector<T> data;             ///< received elements, grouped by source
+  std::vector<usize> recv_counts;  ///< chunk length per source rank
+  usize elements_sent_off_rank = 0;
+  usize elements_kept = 0;
+};
+
+/// Compute this rank's refined cumulative cut for every boundary: exactly
+/// cuts[b] local elements end up left of boundary b, with Sum_r cuts[b][r]
+/// == sp.boundary[b]. Boundary b is "owned" by rank b (the paper's "i-th
+/// processor is responsible for the i-th row" of the permutation matrix);
+/// this requires sp.boundary.size() <= comm.size(), which holds for both the
+/// sort (P-1 boundaries) and k-way bucketing (k-1 <= P-1).
+template <class UK>
+std::vector<usize> compute_boundary_cuts(runtime::Comm& comm, usize n_local,
+                                         const SplitterResult<UK>& sp) {
+  const int P = comm.size();
+  const usize B = sp.boundary.size();
+  HDS_CHECK(B <= static_cast<usize>(P));
+
+  struct Bounds {
+    u64 lb, ub;
+  };
+  // ALL-TO-ALL #1: send (lb_b, ub_b) of boundary b to its owner rank b.
+  std::vector<Bounds> to_owner(P, Bounds{0, 0});
+  for (usize b = 0; b < B; ++b)
+    to_owner[b] = Bounds{sp.local_lb[b], sp.local_ub[b]};
+  std::vector<Bounds> from_ranks(P);
+  comm.alltoall(to_owner.data(), 1, from_ranks.data());
+
+  // Owner b: greedily assign the deficit D = B_b - L_b over the tie counts
+  // in rank order (the refinement loop of Alg. 4).
+  std::vector<u64> cuts(P, 0);  // c_{b,r} computed by owner b = this rank
+  const usize b_mine = static_cast<usize>(comm.rank());
+  if (b_mine < B) {
+    usize deficit = sp.boundary[b_mine] - sp.global_lb[b_mine];
+    for (int r = 0; r < P; ++r) {
+      const usize tie = from_ranks[r].ub - from_ranks[r].lb;
+      const usize take = std::min(tie, deficit);
+      cuts[r] = from_ranks[r].lb + take;
+      deficit -= take;
+    }
+    HDS_CHECK_MSG(deficit == 0, "tie refinement could not place "
+                                    << deficit << " elements");
+    comm.charge_control_scan(P);
+  }
+
+  // ALL-TO-ALL #2: owner b returns c_{b,r} to rank r.
+  std::vector<u64> my_cuts(P);
+  comm.alltoall(cuts.data(), 1, my_cuts.data());
+
+  std::vector<usize> out(B);
+  u64 prev = 0;
+  for (usize b = 0; b < B; ++b) {
+    HDS_CHECK_MSG(my_cuts[b] >= prev && my_cuts[b] <= n_local,
+                  "non-monotone cut at boundary " << b);
+    prev = my_cuts[b];
+    out[b] = my_cuts[b];
+  }
+  return out;
+}
+
+/// Per-destination send counts for the sort's exchange: destination d
+/// receives the local slice [cut_{d-1}, cut_d).
+template <class UK>
+std::vector<usize> compute_send_counts(runtime::Comm& comm, usize n_local,
+                                       const SplitterResult<UK>& sp) {
+  const int P = comm.size();
+  HDS_CHECK(sp.boundary.size() == static_cast<usize>(P - 1));
+  const std::vector<usize> cuts = compute_boundary_cuts(comm, n_local, sp);
+  std::vector<usize> send(P, 0);
+  usize prev = 0;
+  for (int d = 0; d < P; ++d) {
+    const usize cut = (d < P - 1) ? cuts[d] : n_local;
+    send[d] = cut - prev;
+    prev = cut;
+  }
+  return send;
+}
+
+/// Full data exchange: computes send counts and runs the ALL-TO-ALLV.
+/// `sorted_local` must be the locally sorted input used by find_splitters.
+template <class T, class UK>
+ExchangeResult<T> exchange(runtime::Comm& comm,
+                           std::span<const T> sorted_local,
+                           const SplitterResult<UK>& sp) {
+  net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
+  ExchangeResult<T> out;
+  const std::vector<usize> send =
+      compute_send_counts(comm, sorted_local.size(), sp);
+  out.elements_kept = send[comm.rank()];
+  for (int d = 0; d < comm.size(); ++d)
+    if (d != comm.rank()) out.elements_sent_off_rank += send[d];
+  out.data = comm.alltoallv(sorted_local, send, &out.recv_counts);
+  return out;
+}
+
+/// Store-and-forward hypercube exchange (Sec. VI-E1: "For a relatively
+/// small N/P we utilize store-and-forward algorithms which communicate data
+/// in intermediate steps in ceil(log p) rounds"). Each round j swaps, with
+/// the partner across hypercube dimension j, every bucket whose destination
+/// differs in bit j; data is forwarded (and re-transmitted) up to log2(P)
+/// times, trading bandwidth for only log2(P) message latencies — the right
+/// trade when partitions are small. Requires a power-of-two rank count.
+///
+/// Sorted-run boundaries are carried alongside the payload so the final
+/// merge still sees sorted chunks.
+template <class T, class UK>
+ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
+                                     std::span<const T> sorted_local,
+                                     const SplitterResult<UK>& sp) {
+  net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
+  const int P = comm.size();
+  if (!is_pow2(static_cast<u64>(P)))
+    throw argument_error(
+        "exchange_hypercube: rank count must be a power of two");
+
+  ExchangeResult<T> out;
+  const std::vector<usize> send =
+      compute_send_counts(comm, sorted_local.size(), sp);
+  std::vector<usize> offsets(P + 1, 0);
+  for (int d = 0; d < P; ++d) offsets[d + 1] = offsets[d] + send[d];
+  out.elements_kept = send[comm.rank()];
+  for (int d = 0; d < P; ++d)
+    if (d != comm.rank()) out.elements_sent_off_rank += send[d];
+
+  // Buckets in flight: per destination, a list of sorted runs.
+  std::vector<std::vector<T>> bucket(P);
+  std::vector<std::vector<u64>> runs(P);
+  for (int d = 0; d < P; ++d) {
+    if (send[d] == 0) continue;
+    bucket[d].assign(sorted_local.begin() + offsets[d],
+                     sorted_local.begin() + offsets[d + 1]);
+    runs[d].push_back(send[d]);
+  }
+
+  const int dims = static_cast<int>(log2_ceil(static_cast<u64>(P)));
+  const u64 tag_base = 0xcafe00ULL << 8;
+  for (int j = 0; j < dims; ++j) {
+    const int partner = comm.rank() ^ (1 << j);
+    // Serialize every bucket whose destination's bit j differs from ours:
+    // header = [ndests, then per dest: dest, nruns, runlen...], payload =
+    // the concatenated elements in the same order.
+    std::vector<u64> header{0};
+    std::vector<T> payload;
+    for (int d = 0; d < P; ++d) {
+      if (((d >> j) & 1) == ((comm.rank() >> j) & 1)) continue;
+      if (bucket[d].empty()) continue;
+      ++header[0];
+      header.push_back(static_cast<u64>(d));
+      header.push_back(runs[d].size());
+      header.insert(header.end(), runs[d].begin(), runs[d].end());
+      payload.insert(payload.end(), bucket[d].begin(), bucket[d].end());
+      bucket[d].clear();
+      bucket[d].shrink_to_fit();
+      runs[d].clear();
+    }
+    comm.send(partner, tag_base + 2 * j, std::span<const u64>(header),
+              net::Traffic::Control);
+    comm.send(partner, tag_base + 2 * j + 1, std::span<const T>(payload),
+              net::Traffic::Data);
+    const std::vector<u64> rheader = comm.recv<u64>(partner, tag_base + 2 * j);
+    const std::vector<T> rpayload =
+        comm.recv<T>(partner, tag_base + 2 * j + 1);
+    usize hoff = 1, poff = 0;
+    for (u64 e = 0; e < rheader[0]; ++e) {
+      const int d = static_cast<int>(rheader[hoff++]);
+      const u64 nruns = rheader[hoff++];
+      for (u64 k = 0; k < nruns; ++k) {
+        const u64 len = rheader[hoff++];
+        runs[d].push_back(len);
+        bucket[d].insert(bucket[d].end(), rpayload.begin() + poff,
+                         rpayload.begin() + poff + len);
+        poff += len;
+      }
+    }
+    HDS_CHECK(poff == rpayload.size());
+  }
+
+  out.data = std::move(bucket[comm.rank()]);
+  out.recv_counts.assign(runs[comm.rank()].begin(),
+                         runs[comm.rank()].end());
+  if (out.recv_counts.empty() && !out.data.empty())
+    out.recv_counts.push_back(out.data.size());
+  usize total = 0;
+  for (usize c : out.recv_counts) total += c;
+  HDS_CHECK(total == out.data.size());
+  return out;
+}
+
+/// Hierarchical node-leader exchange (Sec. VI-E1: "A set of dedicated
+/// leader cores on a single node is responsible for communication while the
+/// others perform the merging"). Intra-node slices are delivered directly
+/// (PGAS memcpy semantics); off-node slices are funneled through one leader
+/// per node, exchanged leader-to-leader, and fanned out on the destination
+/// node — minimizing the number of processes that touch the NIC.
+///
+/// Requires `comm` to span whole nodes of the machine model (true for the
+/// world communicator, the only place superstep 3 runs).
+template <class T, class UK>
+ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
+                                        std::span<const T> sorted_local,
+                                        const SplitterResult<UK>& sp) {
+  net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
+  const int P = comm.size();
+  const auto& machine = comm.machine();
+
+  ExchangeResult<T> out;
+  const std::vector<usize> send =
+      compute_send_counts(comm, sorted_local.size(), sp);
+  std::vector<usize> offsets(P + 1, 0);
+  for (int d = 0; d < P; ++d) offsets[d + 1] = offsets[d] + send[d];
+  out.elements_kept = send[comm.rank()];
+  for (int d = 0; d < P; ++d)
+    if (d != comm.rank()) out.elements_sent_off_rank += send[d];
+
+  const int my_node = machine.node_of(comm.world_rank());
+  runtime::Comm node = comm.split(my_node, comm.rank());
+  const bool leader = node.rank() == 0;
+  runtime::Comm leaders = comm.split(leader ? 0 : 1, my_node);
+
+  constexpr u64 kIntraTag = 0x71e4ULL << 32;
+  constexpr u64 kFanLenTag = 0x71e5ULL << 32;
+  constexpr u64 kFanDataTag = 0x71e6ULL << 32;
+
+  // 1) Direct intra-node deliveries (every same-node pair, even if empty,
+  // so the receive count is deterministic).
+  for (int d = 0; d < P; ++d) {
+    if (d == comm.rank()) continue;
+    if (machine.node_of(comm.world_rank_of(d)) != my_node) continue;
+    comm.send(d, kIntraTag + comm.rank(),
+              std::span<const T>(sorted_local.data() + offsets[d], send[d]));
+  }
+
+  // 2) Funnel off-node slices to the node leader: payload in ascending
+  // destination order plus the full per-destination count vector.
+  std::vector<T> to_leader;
+  std::vector<u64> my_counts(P, 0);
+  for (int d = 0; d < P; ++d) {
+    if (machine.node_of(comm.world_rank_of(d)) == my_node) continue;
+    my_counts[d] = send[d];
+    to_leader.insert(to_leader.end(), sorted_local.begin() + offsets[d],
+                     sorted_local.begin() + offsets[d + 1]);
+  }
+  std::vector<T> pooled = node.gatherv(std::span<const T>(to_leader), 0);
+  std::vector<u64> pooled_counts =
+      node.gatherv(std::span<const u64>(my_counts), 0);
+
+  // 3) Leaders exchange node-to-node bundles. Every leader knows the node
+  // id of every other leader (split key = node id, so member order == node
+  // order); bundle for node nd = runs for each dest rank on nd, from each
+  // member of this node, serialized as [ndests, (dest, nruns, lens...)...].
+  if (leader) {
+    const int NL = leaders.size();
+    const int members = node.size();
+    std::vector<u64> node_ids(NL);
+    const u64 mine_id = my_node;
+    leaders.allgather(&mine_id, 1, node_ids.data());
+
+    // Per-member cursor into its pooled payload (ascending dest order).
+    std::vector<usize> member_off(members + 1, 0);
+    {
+      usize acc = 0;
+      for (int m = 0; m < members; ++m) {
+        member_off[m] = acc;
+        for (int d = 0; d < P; ++d)
+          acc += pooled_counts[usize(m) * P + d];
+      }
+      member_off[members] = acc;
+      HDS_CHECK(acc == pooled.size());
+    }
+    std::vector<usize> cursor(member_off.begin(),
+                              member_off.begin() + members);
+
+    std::vector<u64> header;
+    std::vector<usize> header_counts(NL, 0);
+    std::vector<T> payload;
+    std::vector<usize> payload_counts(NL, 0);
+    for (int li = 0; li < NL; ++li) {
+      const usize h0 = header.size();
+      const usize p0 = payload.size();
+      if (node_ids[li] != static_cast<u64>(my_node)) {
+        for (int d = 0; d < P; ++d) {
+          if (machine.node_of(comm.world_rank_of(d)) !=
+              static_cast<int>(node_ids[li]))
+            continue;
+          header.push_back(static_cast<u64>(d));
+          header.push_back(members);
+          for (int m = 0; m < members; ++m) {
+            const u64 len = pooled_counts[usize(m) * P + d];
+            header.push_back(len);
+            payload.insert(payload.end(), pooled.begin() + cursor[m],
+                           pooled.begin() + cursor[m] + len);
+            cursor[m] += len;
+          }
+        }
+      }
+      header_counts[li] = header.size() - h0;
+      payload_counts[li] = payload.size() - p0;
+    }
+    std::vector<usize> rheader_counts, rpayload_counts;
+    const std::vector<u64> rheader =
+        leaders.alltoallv(std::span<const u64>(header), header_counts,
+                          &rheader_counts, net::Traffic::Control);
+    const std::vector<T> rpayload =
+        leaders.alltoallv(std::span<const T>(payload), payload_counts,
+                          &rpayload_counts);
+
+    // 4) Fan received runs out to their destination ranks on this node.
+    usize hoff = 0, poff = 0;
+    for (int src_li = 0; src_li < NL; ++src_li) {
+      const usize hend = hoff + rheader_counts[src_li];
+      // Collect this source node's runs per destination, then forward.
+      std::vector<std::vector<u64>> lens_by_dest;
+      std::vector<std::vector<T>> data_by_dest;
+      std::vector<int> dests;
+      while (hoff < hend) {
+        const int d = static_cast<int>(rheader[hoff++]);
+        const u64 nruns = rheader[hoff++];
+        std::vector<u64> lens;
+        std::vector<T> data;
+        for (u64 k = 0; k < nruns; ++k) {
+          const u64 len = rheader[hoff++];
+          lens.push_back(len);
+          data.insert(data.end(), rpayload.begin() + poff,
+                      rpayload.begin() + poff + len);
+          poff += len;
+        }
+        dests.push_back(d);
+        lens_by_dest.push_back(std::move(lens));
+        data_by_dest.push_back(std::move(data));
+      }
+      // Forward (possibly empty) bundles to every rank on this node so the
+      // receive count per rank is deterministic: one bundle per src node.
+      if (node_ids[src_li] == static_cast<u64>(my_node)) continue;
+      for (int nr = 0; nr < node.size(); ++nr) {
+        const int d = /* comm rank of node member nr */
+            [&] {
+              // node comm members are ordered by comm rank (split key).
+              return node.world_rank_of(nr);  // world == comm rank at world
+            }();
+        std::vector<u64> lens;
+        std::vector<T> data;
+        for (usize i = 0; i < dests.size(); ++i) {
+          if (dests[i] == d) {
+            lens = std::move(lens_by_dest[i]);
+            data = std::move(data_by_dest[i]);
+            break;
+          }
+        }
+        node.send(nr, kFanLenTag + node_ids[src_li],
+                  std::span<const u64>(lens), net::Traffic::Control);
+        node.send(nr, kFanDataTag + node_ids[src_li],
+                  std::span<const T>(data));
+      }
+    }
+    HDS_CHECK(poff == rpayload.size());
+  }
+
+  // 5) Receive: own slice + intra-node direct slices + leader bundles.
+  out.data.assign(sorted_local.begin() + offsets[comm.rank()],
+                  sorted_local.begin() + offsets[comm.rank() + 1]);
+  out.recv_counts.assign(1, out.data.size());
+  for (int s = 0; s < P; ++s) {
+    if (s == comm.rank()) continue;
+    if (machine.node_of(comm.world_rank_of(s)) != my_node) continue;
+    const std::vector<T> slice = comm.recv<T>(s, kIntraTag + s);
+    out.recv_counts.push_back(slice.size());
+    out.data.insert(out.data.end(), slice.begin(), slice.end());
+  }
+  {
+    // One bundle per remote node, from my leader.
+    std::vector<int> remote_nodes;
+    for (int r = 0; r < P; ++r) {
+      const int nd = machine.node_of(comm.world_rank_of(r));
+      if (nd != my_node &&
+          std::find(remote_nodes.begin(), remote_nodes.end(), nd) ==
+              remote_nodes.end())
+        remote_nodes.push_back(nd);
+    }
+    for (int nd : remote_nodes) {
+      const std::vector<u64> lens = node.recv<u64>(0, kFanLenTag + nd);
+      const std::vector<T> data = node.recv<T>(0, kFanDataTag + nd);
+      usize off = 0;
+      for (u64 len : lens) {
+        out.recv_counts.push_back(len);
+        out.data.insert(out.data.end(), data.begin() + off,
+                        data.begin() + off + len);
+        off += len;
+      }
+      HDS_CHECK(off == data.size());
+    }
+  }
+  // Drop leading zero-length chunk bookkeeping noise.
+  std::erase(out.recv_counts, usize{0});
+  if (out.recv_counts.empty() && !out.data.empty())
+    out.recv_counts.push_back(out.data.size());
+  usize total = 0;
+  for (usize c : out.recv_counts) total += c;
+  HDS_CHECK(total == out.data.size());
+  return out;
+}
+
+/// 1-factor partner of rank i in round r (circle method): P-1 rounds for
+/// even P; for odd P every rank idles exactly once (partner == i).
+inline int one_factor_partner(int P, int round, int i) {
+  if (P % 2 == 0) {
+    const int m = P - 1;
+    if (i == m) return round % m;
+    const int j = ((2 * round - i) % m + m) % m;
+    return j == i ? m : j;
+  }
+  const int j = ((2 * round - i) % P + P) % P;
+  return j;  // j == i means idle this round
+}
+
+/// Alternative data exchange (Sec. VI-E1, delivered future work): explicit
+/// pairwise sendrecv rounds scheduled by a 1-factorization of K_P, so every
+/// round is a perfect matching (minimal congestion for large messages).
+/// With `overlap_merge` each received chunk is binary-merged into the
+/// accumulated output immediately, overlapping superstep 4 with the
+/// remaining communication rounds; otherwise chunks are concatenated and
+/// recv_counts returned for a separate merge, exactly like exchange().
+template <class T, class UK, class KeyFn>
+ExchangeResult<T> exchange_one_factor(runtime::Comm& comm,
+                                      std::span<const T> sorted_local,
+                                      const SplitterResult<UK>& sp,
+                                      KeyFn key, bool overlap_merge) {
+  net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
+  const int P = comm.size();
+  ExchangeResult<T> out;
+  const std::vector<usize> send =
+      compute_send_counts(comm, sorted_local.size(), sp);
+  std::vector<usize> offsets(P + 1, 0);
+  for (int d = 0; d < P; ++d) offsets[d + 1] = offsets[d] + send[d];
+  out.elements_kept = send[comm.rank()];
+
+  auto less = [&](const T& a, const T& b) { return key(a) < key(b); };
+  std::vector<T> acc(sorted_local.begin() + offsets[comm.rank()],
+                     sorted_local.begin() + offsets[comm.rank() + 1]);
+  std::vector<usize> counts{acc.size()};
+
+  const int rounds = (P % 2 == 0) ? P - 1 : P;
+  const u64 tag_base = 0x1fac70f2ULL << 8;
+  for (int r = 0; r < rounds; ++r) {
+    const int partner = one_factor_partner(P, r, comm.rank());
+    if (partner == comm.rank()) continue;  // odd P: idle round
+    out.elements_sent_off_rank += send[partner];
+    comm.send(partner, tag_base + r,
+              std::span<const T>(sorted_local.data() + offsets[partner],
+                                 send[partner]));
+    std::vector<T> chunk = comm.recv<T>(partner, tag_base + r);
+    if (overlap_merge) {
+      // Merge-on-arrival: each pairwise exchange immediately "gives" its
+      // chunk to a binary merge, overlapping with later rounds.
+      net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
+      std::vector<T> merged(acc.size() + chunk.size());
+      std::merge(acc.begin(), acc.end(), chunk.begin(), chunk.end(),
+                 merged.begin(), less);
+      comm.charge_merge_pass(merged.size());
+      acc = std::move(merged);
+      counts[0] = acc.size();
+    } else {
+      counts.push_back(chunk.size());
+      acc.insert(acc.end(), chunk.begin(), chunk.end());
+    }
+  }
+  out.data = std::move(acc);
+  out.recv_counts = std::move(counts);
+  return out;
+}
+
+}  // namespace hds::core

@@ -1,0 +1,222 @@
+// hds::core::sort — the distributed histogram sort (Sec. V), end to end:
+//
+//   1. Local Sort      fast shared-memory sort of the local partition
+//   2. Splitting       distributed multiselection by histogramming (Alg. 2+3)
+//   3. Data Exchange   permutation matrix + single ALL-TO-ALLV (Alg. 4)
+//   4. Local Merge     merge of the received sorted chunks (Sec. V-C)
+//
+// Output invariant: each rank's partition is sorted, no element on rank i
+// exceeds any element on rank i+1, and with epsilon == 0 every rank ends up
+// with exactly as many elements as it contributed (perfect partitioning /
+// in-place condition). With epsilon > 0 each boundary may deviate by
+// N*eps/(2P), so partition sizes stay within N(1+eps)/P.
+//
+// No assumptions are made about key distribution, duplicate keys, rank
+// count, or partition density — empty local partitions (sparse inputs) are
+// supported throughout.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/exchange.h"
+#include "core/key_traits.h"
+#include "core/local_sort.h"
+#include "core/merge.h"
+#include "core/multiselect.h"
+#include "core/selection.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+/// How superstep 3 moves the data.
+enum class ExchangeAlgorithm : u8 {
+  Alltoallv,  ///< single collective ALL-TO-ALLV (the paper's evaluated path)
+  OneFactor,  ///< pairwise 1-factor rounds (Sec. VI-E1 future work)
+  Hypercube,  ///< store-and-forward, log2(P) rounds — for small N/P
+              ///< (Sec. VI-E1); requires a power-of-two rank count
+  Hierarchical,  ///< node-leader funneling (Sec. VI-E1): only one core per
+                 ///< node touches the NIC; world communicator only
+};
+
+struct SortConfig {
+  /// Load-balance threshold epsilon (Def. 1); 0 = perfect partitioning.
+  double epsilon = 0.0;
+  MergeStrategy merge = MergeStrategy::Sort;
+  SplitterInit init = SplitterInit::MinMax;
+  usize sample_per_rank = 16;  ///< only used with SplitterInit::Sampled
+  ExchangeAlgorithm exchange = ExchangeAlgorithm::Alltoallv;
+  /// With ExchangeAlgorithm::OneFactor: binary-merge each received chunk on
+  /// arrival, overlapping superstep 4 with the remaining rounds.
+  bool overlap_merge = false;
+  /// Skip superstep 1 when the caller guarantees sorted local input.
+  bool input_is_sorted = false;
+};
+
+struct SortStats {
+  usize histogram_iterations = 0;
+  usize splitter_probes = 0;
+  usize elements_sent_off_rank = 0;  ///< this rank's off-rank sends
+  usize elements_before = 0;
+  usize elements_after = 0;
+};
+
+/// Sort a distributed vector by a key projection with an explicit output
+/// capacity per rank (`out_capacity` = this rank's share; capacities must
+/// globally sum to N). This is the general entry point: the std::sort-like
+/// overloads below derive capacities from the input distribution (the
+/// paper's perfect-partitioning contract), while passing explicit
+/// capacities rebalances arbitrary (e.g. sparse) inputs in the same single
+/// data movement — the conclusion's sparse-matrix use case.
+template <class T, class KeyFn>
+SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
+                           KeyFn key, usize out_capacity,
+                           const SortConfig& cfg = {}) {
+  SortStats stats;
+  stats.elements_before = local.size();
+
+  // Superstep 1: local sort.
+  {
+    net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
+    if (!cfg.input_is_sorted) local_sort(comm, local, key);
+  }
+
+  // Targets: prefix sums of the output capacities (Def. 3).
+  std::vector<usize> targets;
+  {
+    net::PhaseScope phase(comm.clock(), net::Phase::Histogram);
+    const u64 mine_in = local.size();
+    const u64 mine_out = out_capacity;
+    std::vector<u64> in_caps(comm.size()), out_caps(comm.size());
+    comm.allgather(&mine_in, 1, in_caps.data());
+    comm.allgather(&mine_out, 1, out_caps.data());
+    u64 n_in = 0, n_out = 0;
+    for (int r = 0; r < comm.size(); ++r) {
+      n_in += in_caps[r];
+      n_out += out_caps[r];
+    }
+    HDS_CHECK_MSG(n_in == n_out,
+                  "output capacities (" << n_out
+                                        << ") must sum to the global size ("
+                                        << n_in << ")");
+    targets.resize(comm.size() - 1);
+    u64 acc = 0;
+    for (int r = 0; r + 1 < comm.size(); ++r) {
+      acc += out_caps[r];
+      targets[r] = acc;
+    }
+  }
+
+  // Superstep 2: splitter determination.
+  MultiselectConfig mcfg;
+  mcfg.epsilon = cfg.epsilon;
+  mcfg.init = cfg.init;
+  mcfg.sample_per_rank = cfg.sample_per_rank;
+  const auto splitters = find_splitters(
+      comm, std::span<const T>(local.data(), local.size()), key,
+      std::span<const usize>(targets), mcfg);
+  stats.histogram_iterations = splitters.iterations;
+  stats.splitter_probes = splitters.probes_total;
+
+  // Superstep 3: data exchange.
+  const std::span<const T> sorted_view(local.data(), local.size());
+  ExchangeResult<T> ex;
+  switch (cfg.exchange) {
+    case ExchangeAlgorithm::OneFactor:
+      ex = exchange_one_factor(comm, sorted_view, splitters, key,
+                               cfg.overlap_merge);
+      break;
+    case ExchangeAlgorithm::Hypercube:
+      ex = exchange_hypercube(comm, sorted_view, splitters);
+      break;
+    case ExchangeAlgorithm::Hierarchical:
+      ex = exchange_hierarchical(comm, sorted_view, splitters);
+      break;
+    case ExchangeAlgorithm::Alltoallv:
+      ex = exchange(comm, sorted_view, splitters);
+      break;
+  }
+  stats.elements_sent_off_rank = ex.elements_sent_off_rank;
+
+  // Superstep 4: local merge of the received sorted chunks.
+  merge_chunks(comm, ex.data, std::span<const usize>(ex.recv_counts),
+               cfg.merge, key);
+
+  local = std::move(ex.data);
+  stats.elements_after = local.size();
+  return stats;
+}
+
+/// Sort a distributed vector by a key projection; the output distribution
+/// equals the input distribution (perfect partitioning when epsilon == 0).
+template <class T, class KeyFn>
+SortStats sort_by_key(runtime::Comm& comm, std::vector<T>& local, KeyFn key,
+                      const SortConfig& cfg = {}) {
+  return sort_to_capacity(comm, local, key, local.size(), cfg);
+}
+
+/// Sort a distributed vector of keys directly (std::sort-like entry point).
+template <class T>
+SortStats sort(runtime::Comm& comm, std::vector<T>& local,
+               const SortConfig& cfg = {}) {
+  return sort_by_key(comm, local, [](const T& v) { return v; }, cfg);
+}
+
+/// Sort and rebalance in one data movement: every rank ends with an even
+/// share N/P (first N mod P ranks get one extra).
+template <class T, class KeyFn>
+SortStats sort_balanced(runtime::Comm& comm, std::vector<T>& local,
+                        KeyFn key, const SortConfig& cfg = {}) {
+  const u64 n = comm.allreduce_value<u64>(
+      local.size(), [](u64 a, u64 b) { return a + b; });
+  const usize base = static_cast<usize>(n) / comm.size();
+  const usize extra = static_cast<usize>(n) % comm.size();
+  const usize mine = base + (static_cast<usize>(comm.rank()) < extra ? 1 : 0);
+  return sort_to_capacity(comm, local, key, mine, cfg);
+}
+
+/// Distributed nth_element: the value of 0-based global rank k, via the
+/// weighted-median selection of Alg. 1 (dash::nth_element). Reorders
+/// `local`.
+template <class T>
+T nth_element(runtime::Comm& comm, std::span<T> local, usize k) {
+  return dselect(comm, local, k);
+}
+
+/// Verification helper (collective): does the distributed sequence satisfy
+/// the global sort invariant? Each rank checks local sortedness and that its
+/// maximum does not exceed the next non-empty rank's minimum.
+template <class T, class KeyFn>
+bool is_globally_sorted(runtime::Comm& comm, std::span<const T> local,
+                        KeyFn key) {
+  using K = std::decay_t<decltype(key(std::declval<T>()))>;
+  const bool local_ok = is_locally_sorted(local, key);
+
+  struct Edge {
+    K min, max;
+    u8 has;
+  };
+  Edge mine{};
+  mine.has = local.empty() ? 0 : 1;
+  if (mine.has) {
+    mine.min = key(local.front());
+    mine.max = key(local.back());
+  }
+  std::vector<Edge> edges(comm.size());
+  comm.allgather(&mine, 1, edges.data());
+
+  bool ok = local_ok;
+  K prev_max{};
+  bool have_prev = false;
+  for (const Edge& e : edges) {
+    if (!e.has) continue;
+    if (have_prev && e.min < prev_max) ok = false;
+    prev_max = e.max;
+    have_prev = true;
+  }
+  const u8 all =
+      comm.allreduce_value<u8>(ok ? 1 : 0, [](u8 a, u8 b) -> u8 { return a & b; });
+  return all != 0;
+}
+
+}  // namespace hds::core

@@ -1,0 +1,98 @@
+// KeyTraits: an order-preserving bijection from a key type onto an unsigned
+// integer space, plus midpoint bisection in that space. This is what lets
+// FIND_SPLITTERS (Alg. 3) bisect the *key range* — "in each iteration we
+// bisect the key range of possible splitter candidates, i.e. a single bit" —
+// uniformly for integers and IEEE-754 floats.
+//
+// Floats use the classic sign-magnitude-to-biased trick: negative values
+// have all bits flipped, non-negative values have the sign bit set. The map
+// is monotone over all finite values and ±inf; NaNs are not valid sort keys.
+//
+// Users can specialize KeyTraits for their own arithmetic-like key types;
+// non-arithmetic records are sorted via sort_by_key with a projection onto a
+// type that has KeyTraits (see examples/nbody_morton.cpp).
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <limits>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace hds::core {
+
+template <class T, class Enable = void>
+struct KeyTraits;  // primary template intentionally undefined
+
+/// Unsigned integers: identity map.
+template <class T>
+struct KeyTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                     std::is_unsigned_v<T>>> {
+  using uint_type = T;
+  static constexpr int key_bits = std::numeric_limits<T>::digits;
+  static constexpr uint_type to_uint(T v) { return v; }
+  static constexpr T from_uint(uint_type u) { return u; }
+};
+
+/// Signed integers: flip the sign bit.
+template <class T>
+struct KeyTraits<T,
+                 std::enable_if_t<std::is_integral_v<T> && std::is_signed_v<T>>> {
+  using uint_type = std::make_unsigned_t<T>;
+  static constexpr int key_bits = std::numeric_limits<uint_type>::digits;
+  static constexpr uint_type kSign = uint_type{1}
+                                     << (std::numeric_limits<uint_type>::digits - 1);
+  static constexpr uint_type to_uint(T v) {
+    return static_cast<uint_type>(v) ^ kSign;
+  }
+  static constexpr T from_uint(uint_type u) {
+    return static_cast<T>(u ^ kSign);
+  }
+};
+
+namespace detail {
+template <class F>
+struct FloatBits;
+template <>
+struct FloatBits<float> {
+  using type = u32;
+};
+template <>
+struct FloatBits<double> {
+  using type = u64;
+};
+}  // namespace detail
+
+/// IEEE-754 floats: monotone bijection onto the unsigned bit space.
+template <class T>
+struct KeyTraits<T, std::enable_if_t<std::is_floating_point_v<T>>> {
+  using uint_type = typename detail::FloatBits<T>::type;
+  static constexpr int key_bits = std::numeric_limits<uint_type>::digits;
+  static constexpr uint_type kSign = uint_type{1} << (key_bits - 1);
+
+  static uint_type to_uint(T v) {
+    const auto bits = std::bit_cast<uint_type>(v);
+    return (bits & kSign) ? ~bits : (bits | kSign);
+  }
+  static T from_uint(uint_type u) {
+    const uint_type bits = (u & kSign) ? (u & ~kSign) : ~u;
+    return std::bit_cast<T>(bits);
+  }
+};
+
+/// Midpoint in key-bisection space (rounds down; never returns hi when
+/// lo < hi).
+template <class U>
+constexpr U key_midpoint(U lo, U hi) {
+  return static_cast<U>(lo + (hi - lo) / 2);
+}
+
+/// Convenience: does the type have a KeyTraits specialization?
+template <class T>
+concept Bisectable = requires(T v) {
+  typename KeyTraits<T>::uint_type;
+  { KeyTraits<T>::to_uint(v) } -> std::convertible_to<typename KeyTraits<T>::uint_type>;
+};
+
+}  // namespace hds::core

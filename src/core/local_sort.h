@@ -1,0 +1,51 @@
+// Local (per-rank) sorting and searching primitives with simulated-time
+// charges. The paper's superstep 1 ("Local Sort") and the binary-search
+// local histogramming of Alg. 3 both go through here so every bench and the
+// phase breakdown see consistent costs.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "net/sim.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+/// Sort the local partition by a key projection; charged as the shared
+/// memory sort of superstep 1.
+template <class T, class KeyFn>
+void local_sort(runtime::Comm& comm, std::vector<T>& data, KeyFn key) {
+  std::sort(data.begin(), data.end(),
+            [&](const T& a, const T& b) { return key(a) < key(b); });
+  comm.charge_sort(data.size());
+}
+
+/// Count of elements with key(elem) < probe (the splitter lower bound l_i).
+template <class T, class K, class KeyFn>
+usize count_below(std::span<const T> sorted, K probe, KeyFn key) {
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), probe,
+      [&](const T& elem, const K& p) { return key(elem) < p; });
+  return static_cast<usize>(it - sorted.begin());
+}
+
+/// Count of elements with key(elem) <= probe (the splitter upper bound u_i).
+template <class T, class K, class KeyFn>
+usize count_below_equal(std::span<const T> sorted, K probe, KeyFn key) {
+  const auto it = std::upper_bound(
+      sorted.begin(), sorted.end(), probe,
+      [&](const K& p, const T& elem) { return p < key(elem); });
+  return static_cast<usize>(it - sorted.begin());
+}
+
+/// Is the local partition sorted under the key projection?
+template <class T, class KeyFn>
+bool is_locally_sorted(std::span<const T> data, KeyFn key) {
+  return std::is_sorted(data.begin(), data.end(), [&](const T& a, const T& b) {
+    return key(a) < key(b);
+  });
+}
+
+}  // namespace hds::core

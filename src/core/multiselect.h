@@ -1,0 +1,351 @@
+// Distributed multiselection by histogramming — Algorithms 2 + 3 of the
+// paper, the primary contribution.
+//
+// Given locally sorted partitions and a vector of global target ranks K
+// (Def. 3), determine splitter keys S such that the global histogram bounds
+// satisfy L_i < K_i <= U_i (Def. 4, with the paper's epsilon relaxation from
+// Def. 1). Each iteration bisects every unresolved splitter's candidate key
+// range (one bit of the key), computes local histograms by binary search
+// (the partitions are sorted), and reduces them with a single ALLREDUCE.
+//
+// Properties reproduced from Sec. V-A:
+//  * iteration count is bounded by the key width, independent of P;
+//  * no assumptions on key distribution, rank count, or partition density
+//    (empty partitions are fine);
+//  * duplicate keys are handled by resolving ties through counts (the
+//    boundary refinement of Alg. 4 / exchange.h), not by widening keys.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "core/key_traits.h"
+#include "core/local_sort.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+/// How the initial splitter candidate ranges are chosen.
+enum class SplitterInit : u8 {
+  /// Global (min, max) of the key range — one reduction, no assumptions
+  /// (the paper's choice).
+  MinMax,
+  /// Quantiles of a small gathered sample bracket each splitter — fewer
+  /// iterations on benign inputs, with a verified-bracket fallback when the
+  /// sample misleads (the sample-sort idea, kept as an ablation).
+  Sampled,
+};
+
+struct MultiselectConfig {
+  /// Load-balance threshold epsilon of Def. 1; 0 = perfect partitioning.
+  double epsilon = 0.0;
+  SplitterInit init = SplitterInit::MinMax;
+  /// Samples gathered per rank when init == Sampled.
+  usize sample_per_rank = 16;
+  /// Safety cap on histogram rounds; 0 = automatic (4 * key bits + 16).
+  usize max_iterations = 0;
+};
+
+/// Result of find_splitters. All vectors are indexed by boundary
+/// b in [0, targets.size()): boundary b separates output partition b from
+/// b+1 when used by the sort.
+template <class UK>
+struct SplitterResult {
+  std::vector<UK> splitter;     ///< resolved key (bisection space)
+  std::vector<usize> boundary;  ///< resolved global boundary B_b: exactly B_b
+                                ///< elements end up left of boundary b
+  std::vector<usize> local_lb;  ///< this rank's elements with key < splitter
+  std::vector<usize> local_ub;  ///< this rank's elements with key <= splitter
+  std::vector<usize> global_lb; ///< sum of local_lb over ranks (L_b)
+  std::vector<usize> global_ub; ///< sum of local_ub over ranks (U_b)
+  usize iterations = 0;         ///< histogram rounds until convergence
+  usize probes_total = 0;       ///< total splitter probes over all rounds
+};
+
+namespace detail {
+
+/// Per-boundary search state in uint key space. Invariant (once verified):
+/// f(cand_lo - 1) < K <= f(cand_hi) where f(v) = #keys <= v globally.
+template <class UK>
+struct BoundarySearch {
+  UK cand_lo = 0;
+  UK cand_hi = 0;
+  usize target = 0;
+  bool resolved = false;
+  bool lo_verified = true;   ///< f(cand_lo - 1) < K known to hold
+  bool hi_verified = true;   ///< f(cand_hi) >= K known to hold
+  double sample_q = -1.0;    ///< sample-space quantile (Sampled init only)
+  u32 expands = 0;           ///< galloping bracket expansions so far
+};
+
+}  // namespace detail
+
+/// Find splitters for arbitrary non-decreasing global target ranks.
+///
+/// `sorted_local` must be sorted by `key`; `targets` must be identical on
+/// all ranks, non-decreasing, and each in [0, N]. Collective over `comm`.
+template <class T, class KeyFn>
+auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
+                    KeyFn key, std::span<const usize> targets,
+                    MultiselectConfig cfg = {})
+    -> SplitterResult<typename KeyTraits<
+        std::decay_t<decltype(key(std::declval<T>()))>>::uint_type> {
+  using K = std::decay_t<decltype(key(std::declval<T>()))>;
+  using Traits = KeyTraits<K>;
+  using UK = typename Traits::uint_type;
+
+  net::PhaseScope phase(comm.clock(), net::Phase::Histogram);
+  HDS_ASSERT(is_locally_sorted(sorted_local, key));
+  HDS_CHECK(std::is_sorted(targets.begin(), targets.end()));
+  HDS_CHECK(cfg.epsilon >= 0.0);
+
+  const usize n_local = sorted_local.size();
+  const usize B = targets.size();
+  const int P = comm.size();
+  const usize N =
+      comm.allreduce_value<u64>(n_local, [](u64 a, u64 b) { return a + b; });
+  for (usize t : targets) HDS_CHECK_MSG(t <= N, "target rank exceeds N");
+
+  SplitterResult<UK> res;
+  res.splitter.assign(B, UK{0});
+  res.boundary.assign(B, 0);
+  res.local_lb.assign(B, 0);
+  res.local_ub.assign(B, 0);
+  res.global_lb.assign(B, 0);
+  res.global_ub.assign(B, 0);
+  if (B == 0) return res;
+
+  // Global key range: one (min, max) reduction in bisection space (line 3).
+  UK my_min = std::numeric_limits<UK>::max();
+  UK my_max = std::numeric_limits<UK>::min();
+  if (n_local > 0) {
+    my_min = Traits::to_uint(key(sorted_local.front()));
+    my_max = Traits::to_uint(key(sorted_local.back()));
+  }
+  UK range[2] = {my_min, static_cast<UK>(~my_max)};
+  UK grange[2];
+  comm.allreduce(range, grange, 2,
+                 [](UK a, UK b) { return std::min(a, b); });
+  const UK gmin = grange[0];
+  const UK gmax = static_cast<UK>(~grange[1]);
+
+  // Epsilon window (Def. 1): each boundary may deviate by N*eps/(2P).
+  const usize window = static_cast<usize>(
+      cfg.epsilon * static_cast<double>(N) / (2.0 * static_cast<double>(P)));
+
+  std::vector<detail::BoundarySearch<UK>> search(B);
+  std::vector<usize> active;  // boundaries still being bisected
+  for (usize b = 0; b < B; ++b) {
+    auto& s = search[b];
+    s.target = targets[b];
+    if (s.target == 0) {
+      // All elements are right of this boundary; no histogramming needed.
+      s.resolved = true;
+      res.splitter[b] = gmin;
+      res.boundary[b] = 0;
+      continue;
+    }
+    if (s.target == N) {
+      s.resolved = true;
+      res.splitter[b] = gmax;
+      res.boundary[b] = N;
+      res.local_lb[b] = res.local_ub[b] = n_local;
+      res.global_lb[b] = res.global_ub[b] = N;
+      continue;
+    }
+    if (N == 0) {
+      s.resolved = true;
+      continue;
+    }
+    s.cand_lo = gmin;
+    s.cand_hi = gmax;
+    active.push_back(b);
+  }
+
+  // Optional sampled initialization: bracket each boundary between adjacent
+  // quantiles of a gathered sample. Brackets are unverified; when one turns
+  // out wrong the search gallops outward through the sample (quadrupling
+  // the window) instead of restarting from the full key range, so a rare
+  // bad bracket costs a handful of rounds, not a full re-bisection.
+  std::vector<UK> sample_u;
+  double spread = 0.0;
+  if (cfg.init == SplitterInit::Sampled && !active.empty() && N > 0) {
+    std::vector<K> my_sample;
+    const usize s_n = std::min(cfg.sample_per_rank, n_local);
+    for (usize i = 0; i < s_n; ++i) {
+      const usize idx = (n_local - 1) * (2 * i + 1) / (2 * s_n);
+      my_sample.push_back(key(sorted_local[idx]));
+    }
+    std::vector<K> sample =
+        comm.allgatherv(std::span<const K>(my_sample));
+    std::sort(sample.begin(), sample.end());
+    comm.charge_control_sort(sample.size());
+    if (sample.size() >= 2) {
+      sample_u.reserve(sample.size());
+      for (const K& v : sample) sample_u.push_back(Traits::to_uint(v));
+      const double S = static_cast<double>(sample_u.size());
+      // Order-statistic rank error of a sample quantile is ~N/(2*sqrt(S)),
+      // i.e. ~sqrt(S)/2 sample positions; a ~3.5-sigma spread makes the
+      // bracket hold for all boundaries with high probability while still
+      // cutting several bisection rounds off the full key range.
+      spread = 2.0 + 1.8 * std::sqrt(S);
+      for (usize b : active) {
+        auto& s = search[b];
+        const double q = static_cast<double>(s.target) /
+                         static_cast<double>(N) * (S - 1.0);
+        s.sample_q = q;
+        const auto lo_i = static_cast<usize>(std::max(0.0, q - spread));
+        const auto hi_i = std::min(sample_u.size() - 1,
+                                   static_cast<usize>(q + spread) + 1);
+        // A bracket that runs into the sample's ends is not trustworthy:
+        // regular per-rank sampling never probes the extreme local
+        // positions, so extreme global quantiles lie outside the pooled
+        // sample — fall back to the verified global extreme there.
+        if (lo_i == 0) {
+          s.cand_lo = gmin;
+          s.lo_verified = true;
+        } else {
+          s.cand_lo = sample_u[lo_i];
+          s.lo_verified = (s.cand_lo == gmin);
+        }
+        if (hi_i >= sample_u.size() - 1) {
+          s.cand_hi = gmax;
+          s.hi_verified = true;
+        } else {
+          s.cand_hi = sample_u[hi_i];
+          s.hi_verified = (s.cand_hi == gmax);
+        }
+        if (s.cand_lo > s.cand_hi) std::swap(s.cand_lo, s.cand_hi);
+      }
+    }
+  }
+
+  // Galloping bracket repair for Sampled init: widen the failing side by
+  // 4x in sample space; after a few failures give up and use the full
+  // verified range.
+  auto expand_lo = [&](detail::BoundarySearch<UK>& s, UK probe) {
+    if (s.expands < 3 && !sample_u.empty() && s.sample_q >= 0.0) {
+      ++s.expands;
+      const double w = spread * std::pow(4.0, s.expands);
+      const usize i = static_cast<usize>(std::max(0.0, s.sample_q - w));
+      UK cand = sample_u[i];
+      if (cand >= probe) cand = gmin;
+      s.cand_lo = cand;
+      s.lo_verified = (cand == gmin);
+    } else {
+      s.cand_lo = gmin;
+      s.lo_verified = true;
+    }
+  };
+  auto expand_hi = [&](detail::BoundarySearch<UK>& s, UK probe) {
+    if (s.expands < 3 && !sample_u.empty() && s.sample_q >= 0.0) {
+      ++s.expands;
+      const double w = spread * std::pow(4.0, s.expands);
+      const usize i = std::min(sample_u.size() - 1,
+                               static_cast<usize>(s.sample_q + w) + 1);
+      UK cand = sample_u[i];
+      if (cand <= probe) cand = gmax;
+      s.cand_hi = cand;
+      s.hi_verified = (cand == gmax);
+    } else {
+      s.cand_hi = gmax;
+      s.hi_verified = true;
+    }
+  };
+
+  const usize max_iter = cfg.max_iterations
+                             ? cfg.max_iterations
+                             : 4 * static_cast<usize>(Traits::key_bits) + 16;
+
+  std::vector<UK> probes;
+  std::vector<u64> hist;     // interleaved (lb, ub) per active boundary
+  std::vector<u64> ghist;
+
+  while (!active.empty()) {
+    HDS_CHECK_MSG(res.iterations < max_iter,
+                  "find_splitters failed to converge after "
+                      << res.iterations << " iterations");
+    ++res.iterations;
+
+    // Probe the midpoint of every unresolved boundary and build the local
+    // histogram by binary search (lines 6-7).
+    probes.clear();
+    hist.clear();
+    for (usize b : active) {
+      const auto& s = search[b];
+      const UK probe = key_midpoint(s.cand_lo, s.cand_hi);
+      probes.push_back(probe);
+      const K probe_key = Traits::from_uint(probe);
+      hist.push_back(count_below(sorted_local, probe_key, key));
+      hist.push_back(count_below_equal(sorted_local, probe_key, key));
+    }
+    res.probes_total += active.size();
+    comm.charge_binary_search(n_local, 2 * active.size());
+
+    // Global histogram: one allreduce (line 8).
+    ghist.assign(hist.size(), 0);
+    comm.allreduce(hist.data(), ghist.data(), hist.size(),
+                   [](u64 a, u64 b) { return a + b; });
+
+    // Validate each splitter (Alg. 2, with the epsilon window).
+    std::vector<usize> still_active;
+    for (usize a = 0; a < active.size(); ++a) {
+      const usize b = active[a];
+      auto& s = search[b];
+      const UK probe = probes[a];
+      const usize L = ghist[2 * a];
+      const usize U = ghist[2 * a + 1];
+      const usize KT = s.target;
+
+      const bool accept = (L < KT + window) && (KT <= U + window);
+      if (accept) {
+        s.resolved = true;
+        res.splitter[b] = probe;
+        res.local_lb[b] = hist[2 * a];
+        res.local_ub[b] = hist[2 * a + 1];
+        res.global_lb[b] = L;
+        res.global_ub[b] = U;
+        // Number of elements ending up left of the boundary: as close to the
+        // target as the ties at the splitter allow (always inside the
+        // epsilon window when accepted; exactly KT when epsilon == 0).
+        res.boundary[b] = std::clamp(KT, L, U);
+        continue;
+      }
+      if (L >= KT + window) {
+        // Too many keys below the probe: move the upper bound down.
+        s.cand_hi = probe;
+        s.hi_verified = true;
+        if (!s.lo_verified && probe <= s.cand_lo) {
+          // Sampled bracket was wrong on the low side: gallop outward.
+          expand_lo(s, probe);
+        }
+      } else {
+        // Too few keys at or below the probe: move the lower bound up.
+        if (probe == s.cand_hi && !s.hi_verified) {
+          // Sampled bracket was wrong on the high side: gallop outward.
+          expand_hi(s, probe);
+        }
+        s.cand_lo = (probe == std::numeric_limits<UK>::max())
+                        ? probe
+                        : static_cast<UK>(probe + 1);
+        s.lo_verified = true;
+        if (s.cand_lo > s.cand_hi && s.hi_verified) s.cand_hi = gmax;
+      }
+      still_active.push_back(b);
+    }
+    active.swap(still_active);
+    comm.charge_control_scan(B);  // splitter validation pass
+  }
+
+  // Boundaries must be non-decreasing for the exchange to produce
+  // contiguous send ranges (ties were resolved toward their targets).
+  for (usize b = 1; b < B; ++b)
+    res.boundary[b] = std::max(res.boundary[b], res.boundary[b - 1]);
+
+  return res;
+}
+
+}  // namespace hds::core

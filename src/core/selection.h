@@ -1,0 +1,151 @@
+// Distributed selection (Alg. 1 of the paper): find the k-th order statistic
+// of a set partitioned over P ranks, using the weighted-median pivot rule of
+// Saukas & Song. Each iteration discards at least one quarter of the active
+// elements without any data redistribution, giving O(log P) rounds of one
+// small allgather + allreduce each.
+//
+// This is the dash::nth_element building block the paper's discussion
+// section advertises; the sort itself uses the histogramming multiselect
+// (see multiselect.h), which the paper derives as a generalization of this
+// algorithm.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+/// Weighted median (Def. 2): the element x_k of a weighted sequence with
+/// sum(w_i | x_i < x_k) < W/2 and sum(w_i | x_i > x_k) <= W/2, where W is the
+/// total weight. Entries with zero weight are ignored. Sequential helper —
+/// the sample it runs on has one entry per rank.
+template <class T>
+T weighted_median(std::vector<std::pair<T, double>> sample) {
+  std::erase_if(sample, [](const auto& p) { return p.second <= 0.0; });
+  HDS_CHECK_MSG(!sample.empty(), "weighted_median of an all-zero-weight set");
+  std::sort(sample.begin(), sample.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double total = 0.0;
+  for (const auto& [x, w] : sample) total += w;
+  // Group equal values so the Def. 2 conditions are evaluated exactly:
+  // mass strictly below < W/2 and mass strictly above <= W/2.
+  double below = 0.0;
+  usize i = 0;
+  while (i < sample.size()) {
+    usize j = i;
+    double group = 0.0;
+    while (j < sample.size() && !(sample[i].first < sample[j].first)) {
+      group += sample[j].second;
+      ++j;
+    }
+    const double above = total - below - group;
+    if (below < total / 2.0 && above <= total / 2.0) return sample[i].first;
+    below += group;
+    i = j;
+  }
+  return sample.back().first;
+}
+
+struct SelectStats {
+  usize iterations = 0;        ///< weighted-median rounds
+  bool used_gather_fallback = false;  ///< finished on a gathered remainder
+};
+
+/// Distributed selection: returns the value of 0-based global rank `k` among
+/// all local partitions. Reorders `local` (3-way partitions accumulate, as
+/// in quickselect). Collective over `comm`; `k` must agree on all ranks and
+/// satisfy k < N where N is the global element count.
+///
+/// `gather_threshold`: once the active set is at most this large, the
+/// remainder is gathered and solved sequentially (the paper's "switch to a
+/// single processor" optimization for small working sets).
+template <class T>
+T dselect(runtime::Comm& comm, std::span<T> local, usize k,
+          SelectStats* stats = nullptr, usize gather_threshold = 2048) {
+  net::PhaseScope phase(comm.clock(), net::Phase::Histogram);
+  usize lo = 0, hi = local.size();  // active local range [lo, hi)
+  usize want = k;
+  SelectStats st;
+
+  for (;;) {
+    const usize active = hi - lo;
+    const usize global_active =
+        comm.allreduce_value<u64>(active, [](u64 a, u64 b) { return a + b; });
+    HDS_CHECK_MSG(want < global_active,
+                  "dselect: k out of range (k=" << want << ", N="
+                                                << global_active << ")");
+
+    if (global_active <= gather_threshold) {
+      // Gather the remaining candidates and finish sequentially.
+      std::vector<T> all = comm.allgatherv(
+          std::span<const T>(local.data() + lo, active));
+      comm.charge_sort(all.size());
+      std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(want),
+                       all.end());
+      st.used_gather_fallback = true;
+      if (stats) *stats = st;
+      return all[want];
+    }
+
+    ++st.iterations;
+
+    // Local median of the active range, weighted by the partition size
+    // (lines 4-7 of Alg. 1). Empty partitions contribute zero weight.
+    T my_median{};
+    if (active > 0) {
+      const usize mid = lo + active / 2;
+      std::nth_element(local.begin() + lo, local.begin() + mid,
+                       local.begin() + hi);
+      my_median = local[mid];
+      comm.charge_partition(active);  // nth_element is a partition-like pass
+    }
+    struct MedianWeight {
+      T median;
+      double weight;
+    };
+    const MedianWeight mine{my_median,
+                            static_cast<double>(active) /
+                                static_cast<double>(global_active)};
+    std::vector<MedianWeight> gathered(comm.size());
+    comm.allgather(&mine, 1, gathered.data());
+    std::vector<std::pair<T, double>> sample;
+    sample.reserve(gathered.size());
+    for (const auto& mw : gathered) sample.emplace_back(mw.median, mw.weight);
+    const T pivot = weighted_median(std::move(sample));
+    comm.charge_scan(comm.size());  // weighted-median over P samples
+
+    // 3-way partition of the active range around the pivot (line 8).
+    auto* first = local.data() + lo;
+    auto* last = local.data() + hi;
+    auto* mid1 = std::partition(first, last,
+                                [&](const T& v) { return v < pivot; });
+    auto* mid2 = std::partition(mid1, last,
+                                [&](const T& v) { return !(pivot < v); });
+    comm.charge_partition(active);
+    const usize lt = static_cast<usize>(mid1 - first);
+    const usize eq = static_cast<usize>(mid2 - mid1);
+
+    // Global partition sizes via one allreduce (line 9).
+    u64 counts[2] = {lt, eq};
+    u64 global[2] = {0, 0};
+    comm.allreduce(counts, global, 2, [](u64 a, u64 b) { return a + b; });
+    const usize L = global[0];
+    const usize E = global[1];
+
+    if (want < L) {
+      hi = lo + lt;  // recurse left
+    } else if (want < L + E) {
+      if (stats) *stats = st;
+      return pivot;  // pivot rank matches (lines 10-11)
+    } else {
+      lo = lo + lt + eq;  // recurse right
+      want -= L + E;
+    }
+  }
+}
+
+}  // namespace hds::core

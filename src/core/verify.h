@@ -1,0 +1,60 @@
+// Output validation for distributed sorts: a collective checker that
+// verifies the full contract (global order, content preservation via an
+// order-independent checksum, balance) in one pass. Used by tests and
+// examples; cheap enough to run after production sorts as a guard.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "common/rng.h"
+#include "core/histogram_sort.h"
+#include "runtime/comm.h"
+
+namespace hds::core {
+
+struct SortValidation {
+  bool globally_sorted = false;
+  u64 checksum = 0;  ///< order-independent content hash, compare pre/post
+  u64 count = 0;     ///< global element count
+  double imbalance = 0.0;  ///< max rank share / (N/P); 1.0 = perfect
+
+  /// Did `after` preserve content and order relative to `before`?
+  static bool consistent(const SortValidation& before,
+                         const SortValidation& after) {
+    return after.globally_sorted && before.checksum == after.checksum &&
+           before.count == after.count;
+  }
+};
+
+/// Collective: compute the validation summary of a distributed sequence.
+/// The checksum is a commutative hash (sum of mixed key hashes), so any
+/// permutation of the same multiset matches while any content change
+/// virtually never does.
+template <class T, class KeyFn>
+SortValidation validate(runtime::Comm& comm, std::span<const T> local,
+                        KeyFn key) {
+  SortValidation v;
+  u64 sum = 0;
+  for (const T& e : local) {
+    using K = std::decay_t<decltype(key(e))>;
+    using Traits = KeyTraits<K>;
+    sum += hash_mix(0x5eedf00dULL,
+                    static_cast<u64>(Traits::to_uint(key(e))));
+  }
+  comm.charge_scan(local.size());
+  v.checksum =
+      comm.allreduce_value<u64>(sum, [](u64 a, u64 b) { return a + b; });
+  v.count = comm.allreduce_value<u64>(local.size(),
+                                      [](u64 a, u64 b) { return a + b; });
+  const u64 max_n = comm.allreduce_value<u64>(
+      local.size(), [](u64 a, u64 b) { return std::max(a, b); });
+  v.imbalance = v.count == 0
+                    ? 1.0
+                    : static_cast<double>(max_n) * comm.size() /
+                          static_cast<double>(v.count);
+  v.globally_sorted = is_globally_sorted(comm, local, key);
+  return v;
+}
+
+}  // namespace hds::core

@@ -1,0 +1,27 @@
+// Host calibration: measure this machine's real per-element constants for
+// the computation kernels and write them into a MachineModel, so simulated
+// times can optionally reflect the build host instead of the default
+// SuperMUC-era values. Communication constants are *not* calibrated (there
+// is no cluster to measure); only the local-compute knobs change.
+#pragma once
+
+#include "net/machine.h"
+
+namespace hds::net {
+
+struct CalibrationResult {
+  double sort_s_per_elem_log = 0.0;
+  double merge_s_per_elem = 0.0;
+  double partition_s_per_elem = 0.0;
+  double scan_s_per_elem = 0.0;
+  double binsearch_s_per_step = 0.0;
+};
+
+/// Measure the kernels on the calling thread (takes ~a second with the
+/// default element count) and return the observed constants.
+CalibrationResult measure_host_constants(usize elements = 1u << 20);
+
+/// Apply a calibration to a machine model's compute constants.
+void apply_calibration(MachineModel& machine, const CalibrationResult& cal);
+
+}  // namespace hds::net

@@ -1,0 +1,92 @@
+// Analytic communication / computation cost model.
+//
+// Collectives are charged with alpha-beta tree costs where the tree stages
+// are split into intra-node stages (shared-memory constants — the DASH PGAS
+// optimization) and inter-node stages (NIC constants). The all-to-allv cost
+// additionally honours per-node NIC serialization and the fat-tree bisection
+// bandwidth.
+//
+// `data_scale` implements the virtual-workload mode: benches execute the
+// real algorithm on a proportionally sampled input while the model charges
+// for the paper's full problem size. Only *data* byte terms scale; control
+// traffic (histograms, splitters, clock sync) and latency terms do not,
+// and computation charges use the scaled element count.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "net/machine.h"
+
+namespace hds::net {
+
+/// Whether a transfer carries the (scalable) key payload or fixed-size
+/// control data such as histograms and splitters.
+enum class Traffic : u8 { Control, Data };
+
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(MachineModel machine, double data_scale = 1.0)
+      : machine_(machine), data_scale_(data_scale) {}
+
+  const MachineModel& machine() const { return machine_; }
+  double data_scale() const { return data_scale_; }
+
+  /// Scaled element count for computation charges.
+  double scaled(usize n) const { return static_cast<double>(n) * data_scale_; }
+  double scaled_bytes(usize bytes, Traffic t) const {
+    return t == Traffic::Data ? static_cast<double>(bytes) * data_scale_
+                              : static_cast<double>(bytes);
+  }
+
+  // --- collective costs -----------------------------------------------------
+  // P: number of participating ranks; nodes_spanned: distinct nodes they
+  // occupy; bytes: payload per rank unless stated otherwise.
+
+  double barrier(int P, int nodes_spanned) const;
+  double broadcast(int P, int nodes_spanned, usize bytes, Traffic t) const;
+  double reduce(int P, int nodes_spanned, usize bytes, Traffic t) const;
+  double allreduce(int P, int nodes_spanned, usize bytes, Traffic t) const;
+  /// bytes_per_rank contributed by each rank; result is P * bytes_per_rank.
+  double allgather(int P, int nodes_spanned, usize bytes_per_rank,
+                   Traffic t) const;
+  double scan(int P, int nodes_spanned, usize bytes, Traffic t) const;
+  /// Regular all-to-all: every rank sends `bytes_per_pair` to every other.
+  double alltoall(int P, int nodes_spanned, usize bytes_per_pair,
+                  Traffic t) const;
+
+  /// Irregular all-to-allv. `bytes[src * P + dst]` is the matrix of bytes
+  /// sent from member src to member dst; `members[i]` is the global rank of
+  /// member i (for node/NUMA placement). Models per-rank send/recv
+  /// serialization, per-node NIC egress/ingress and fat-tree bisection.
+  double alltoallv(std::span<const rank_t> members,
+                   std::span<const usize> bytes, Traffic t) const;
+
+  /// Point-to-point message.
+  double p2p(rank_t src_world, rank_t dst_world, usize bytes, Traffic t) const;
+
+  // --- computation costs (seconds), all using scaled element counts --------
+  double sort(usize n) const;
+  double merge_pass(usize n) const;
+  double kway_heap_merge(usize n, usize k) const;
+  double partition(usize n) const;
+  double linear_scan(usize n) const;
+  /// `probes` binary searches over a local array of n elements.
+  double binary_search(usize n, usize probes) const;
+
+ private:
+  /// Tree-stage latency and inverse bandwidth blended over intra/inter-node
+  /// stages of a P-rank collective spanning `nodes_spanned` nodes.
+  struct Blend {
+    double alpha;     ///< total latency over all tree stages
+    double inv_bw;    ///< per-byte cost per stage, averaged
+    int stages;
+  };
+  Blend blend(int P, int nodes_spanned) const;
+
+  MachineModel machine_{};
+  double data_scale_ = 1.0;
+};
+
+}  // namespace hds::net

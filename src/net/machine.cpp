@@ -1,0 +1,58 @@
+#include "net/machine.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace hds::net {
+
+MachineModel MachineModel::supermuc_phase2(int nodes, int ranks_per_node) {
+  HDS_CHECK(nodes >= 1);
+  HDS_CHECK(ranks_per_node >= 1);
+  MachineModel m;
+  m.nodes = nodes;
+  m.ranks_per_node = ranks_per_node;
+  return m;
+}
+
+MachineModel MachineModel::supermuc_node(int ranks, int numa_domains) {
+  HDS_CHECK(ranks >= 1);
+  HDS_CHECK(numa_domains >= 1 && numa_domains <= 4);
+  MachineModel m;
+  m.nodes = 1;
+  m.ranks_per_node = ranks;
+  m.numa_domains_per_node = numa_domains;
+  return m;
+}
+
+int MachineModel::ranks_per_numa() const {
+  return std::max(1, div_ceil(ranks_per_node, numa_domains_per_node));
+}
+
+int MachineModel::numa_of(rank_t r) const {
+  const int local = r % ranks_per_node;
+  return std::min(local / ranks_per_numa(), numa_domains_per_node - 1);
+}
+
+bool MachineModel::same_numa(rank_t a, rank_t b) const {
+  return same_node(a, b) && numa_of(a) == numa_of(b);
+}
+
+double MachineModel::p2p_bandwidth(rank_t a, rank_t b) const {
+  if (!same_node(a, b)) return net_bandwidth_Bps;
+  return same_numa(a, b) ? memcpy_Bps : numa_Bps;
+}
+
+double MachineModel::p2p_latency(rank_t a, rank_t b) const {
+  return same_node(a, b) ? mem_alpha_s : net_alpha_s;
+}
+
+double MachineModel::allocated_bisection_Bps() const {
+  // 5.1 TB/s is the peak for a full 512-node island; a smaller allocation
+  // sees a proportional slice of the fat tree, never less than one NIC.
+  const double fraction = std::min(1.0, static_cast<double>(nodes) / 512.0);
+  return std::max(net_bandwidth_Bps, bisection_Bps * fraction);
+}
+
+}  // namespace hds::net

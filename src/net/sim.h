@@ -1,0 +1,104 @@
+// Simulated-time accounting: a per-rank virtual clock plus per-phase
+// attribution. The runtime advances clocks for computation via analytic
+// charges and synchronizes them at collectives (all participants leave a
+// collective at max(entry times) + modelled cost).
+//
+// Real thread execution provides correctness; the SimClock provides the
+// timing the paper measured on 3584 cores. All benches report simulated
+// seconds.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace hds::net {
+
+/// Algorithm phases as broken down in Fig. 2(b) / 3(b) of the paper.
+enum class Phase : u8 { LocalSort = 0, Histogram, Exchange, Merge, Other };
+
+inline constexpr usize kPhaseCount = 5;
+
+constexpr std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::LocalSort: return "LocalSort";
+    case Phase::Histogram: return "Histogram";
+    case Phase::Exchange: return "Exchange";
+    case Phase::Merge: return "Merge";
+    case Phase::Other: return "Other";
+  }
+  return "?";
+}
+
+/// Per-rank virtual clock with phase attribution.
+class SimClock {
+ public:
+  double now() const { return now_s_; }
+
+  Phase phase() const { return phase_; }
+  void set_phase(Phase p) { phase_ = p; }
+
+  /// Advance local time by dt seconds, attributing it to the current phase.
+  void advance(double dt) {
+    HDS_ASSERT(dt >= 0.0);
+    now_s_ += dt;
+    phase_s_[static_cast<usize>(phase_)] += dt;
+  }
+
+  /// Jump to an absolute time (used when leaving a collective); the wait is
+  /// attributed to the current phase. `t` may not go backwards.
+  void sync_to(double t) {
+    HDS_ASSERT(t + 1e-15 >= now_s_);
+    if (t > now_s_) advance(t - now_s_);
+  }
+
+  double phase_seconds(Phase p) const {
+    return phase_s_[static_cast<usize>(p)];
+  }
+
+  void reset() {
+    now_s_ = 0.0;
+    phase_s_.fill(0.0);
+    phase_ = Phase::Other;
+  }
+
+ private:
+  double now_s_ = 0.0;
+  std::array<double, kPhaseCount> phase_s_{};
+  Phase phase_ = Phase::Other;
+};
+
+/// RAII phase scope: attributes all charges inside the scope to `p`.
+class PhaseScope {
+ public:
+  PhaseScope(SimClock& clock, Phase p) : clock_(clock), prev_(clock.phase()) {
+    clock_.set_phase(p);
+  }
+  ~PhaseScope() { clock_.set_phase(prev_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  SimClock& clock_;
+  Phase prev_;
+};
+
+/// Aggregated result of one Team run.
+struct TeamStats {
+  double makespan_s = 0.0;  ///< max over ranks of final clock
+  std::array<double, kPhaseCount> phase_s{};  ///< rank-averaged per phase
+
+  double phase_seconds(Phase p) const {
+    return phase_s[static_cast<usize>(p)];
+  }
+  /// Fraction of total time spent in phase p (rank-averaged).
+  double phase_fraction(Phase p) const {
+    double total = 0.0;
+    for (double v : phase_s) total += v;
+    return total > 0.0 ? phase_seconds(p) / total : 0.0;
+  }
+};
+
+}  // namespace hds::net

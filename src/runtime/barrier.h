@@ -1,0 +1,73 @@
+// Abortable sense-reversing barrier.
+//
+// All bulk-synchronous progress in the runtime funnels through this
+// primitive. If any rank fails (throws), the Team poisons every barrier so
+// waiting ranks wake up and unwind instead of deadlocking — the moral
+// equivalent of MPI_Abort, but recoverable within the host process.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace hds::runtime {
+
+/// Thrown out of ranks that were parked in a collective when another rank
+/// failed. The Team reports the original error, not this one.
+class team_aborted : public std::runtime_error {
+ public:
+  team_aborted() : std::runtime_error("team aborted: a peer rank failed") {}
+};
+
+class Barrier {
+ public:
+  Barrier(int count, const std::atomic<bool>* abort_flag)
+      : count_(count), abort_(abort_flag) {
+    HDS_CHECK(count >= 1);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all `count` ranks arrive. Throws team_aborted if the team
+  /// was poisoned while waiting (or on entry).
+  void wait() {
+    std::unique_lock lock(mu_);
+    if (abort_->load(std::memory_order_relaxed)) throw team_aborted();
+    const bool sense = sense_;
+    if (++waiting_ == count_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] {
+      return sense_ != sense || abort_->load(std::memory_order_relaxed);
+    });
+    if (sense_ == sense) {
+      // Woken by poison: withdraw from the barrier so a later run on this
+      // team starts from a clean count.
+      --waiting_;
+      throw team_aborted();
+    }
+  }
+
+  /// Wake all waiters so they can observe the abort flag.
+  void poison() {
+    std::lock_guard lock(mu_);
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int count_;
+  int waiting_ = 0;
+  bool sense_ = false;
+  const std::atomic<bool>* abort_;
+};
+
+}  // namespace hds::runtime

@@ -1,0 +1,530 @@
+// Comm: per-rank communicator handle, the interface every algorithm in this
+// repository is written against (the moral equivalent of an MPI
+// communicator).
+//
+// Collective protocol (two barriers, double-buffered arenas):
+//   1. each rank publishes (pointer, size, clock) into the arena of the
+//      current parity and waits at barrier #1;
+//   2. the lowest member rank ("root executor") builds the result bytes in
+//      the shared arena, computes the modelled collective cost and the
+//      common exit time max(entry clocks) + cost;
+//   3. barrier #2, then every rank copies its slice out and fast-forwards
+//      its SimClock to the exit time.
+// Caller-owned input buffers are only dereferenced between the two barriers,
+// so callers may reuse them immediately after the collective returns. Arena
+// parity alternates; a slot of parity e cannot be republished before every
+// rank finished reading epoch e's result (publication at round k+2 is gated
+// by barrier #2 of round k+1).
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+#include "net/cost_model.h"
+#include "net/sim.h"
+#include "runtime/team.h"
+
+namespace hds::runtime {
+
+namespace detail {
+enum class OpId : u32 {
+  Barrier = 1,
+  Broadcast,
+  Allreduce,
+  Allgather,
+  Allgatherv,
+  Gatherv,
+  Alltoall,
+  Alltoallv,
+  Exscan,
+  Scan,
+  Split,
+};
+}  // namespace detail
+
+class Comm {
+ public:
+  Comm(Team* team, detail::CommState* state, int idx)
+      : team_(team), state_(state), idx_(idx) {}
+
+  int rank() const { return idx_; }
+  int size() const { return static_cast<int>(state_->members.size()); }
+  bool is_root() const { return idx_ == 0; }
+  rank_t world_rank() const { return state_->members[idx_]; }
+  rank_t world_rank_of(int r) const { return state_->members.at(r); }
+
+  net::SimClock& clock() { return team_->clocks_[world_rank()]; }
+  const net::CostModel& cost() const { return team_->cost_; }
+  const net::MachineModel& machine() const { return cost().machine(); }
+  Team& team() { return *team_; }
+
+  // --- computation charges --------------------------------------------------
+  void charge_seconds(double s) { clock().advance(s); }
+  void charge_sort(usize n) { clock().advance(cost().sort(n)); }
+  void charge_merge_pass(usize n) { clock().advance(cost().merge_pass(n)); }
+  void charge_kway_merge(usize n, usize k) {
+    clock().advance(cost().kway_heap_merge(n, k));
+  }
+  void charge_partition(usize n) { clock().advance(cost().partition(n)); }
+  void charge_scan(usize n) { clock().advance(cost().linear_scan(n)); }
+  void charge_binary_search(usize n, usize probes) {
+    clock().advance(cost().binary_search(n, probes));
+  }
+  /// Control-plane computation charges: sizes that do NOT grow with the
+  /// modelled data volume (splitter vectors, sample pools, permutation
+  /// rows) must not be multiplied by data_scale.
+  void charge_control_sort(usize n) {
+    const double m = std::max<double>(static_cast<double>(n), 2.0);
+    clock().advance(machine().sort_s_per_elem_log * m * std::log2(m));
+  }
+  void charge_control_scan(usize n) {
+    clock().advance(machine().scan_s_per_elem * static_cast<double>(n));
+  }
+
+  // --- collectives ------------------------------------------------------------
+
+  void barrier() {
+    auto& ep = collective(detail::OpId::Barrier, nullptr, 0, nullptr,
+                          [&](detail::EpochArena& a) {
+                            zero_out(a);
+                            return cost().barrier(size(), nodes());
+                          });
+    finish(ep);
+  }
+
+  /// Broadcast n elements from `root` into every rank's `data`.
+  template <class T>
+  void broadcast(T* data, usize n, int root) {
+    check_trivial<T>();
+    const usize bytes = n * sizeof(T);
+    auto& ep = collective(
+        detail::OpId::Broadcast, idx_ == root ? data : nullptr, bytes, nullptr,
+        [&](detail::EpochArena& a) {
+          a.result.resize(bytes);
+          const auto& src = a.slots[root];
+          HDS_CHECK_MSG(src.bytes == bytes, "broadcast size mismatch");
+          if (bytes > 0) std::memcpy(a.result.data(), src.in, bytes);
+          fill_out(a, 0, bytes);
+          return cost().broadcast(size(), nodes(), bytes,
+                                  net::Traffic::Control);
+        });
+    if (bytes > 0) std::memcpy(data, ep.result.data(), bytes);
+    finish(ep);
+  }
+
+  template <class T>
+  T broadcast_value(T v, int root) {
+    broadcast(&v, 1, root);
+    return v;
+  }
+
+  /// Element-wise all-reduce of n elements with a binary op.
+  template <class T, class Op>
+  void allreduce(const T* in, T* out, usize n, Op op,
+                 net::Traffic traffic = net::Traffic::Control) {
+    check_trivial<T>();
+    const usize bytes = n * sizeof(T);
+    auto& ep = collective(
+        detail::OpId::Allreduce, in, bytes, nullptr,
+        [&](detail::EpochArena& a) {
+          a.result.resize(bytes);
+          T* acc = reinterpret_cast<T*>(a.result.data());
+          if (bytes > 0) std::memcpy(acc, a.slots[0].in, bytes);
+          for (int r = 1; r < size(); ++r) {
+            HDS_CHECK_MSG(a.slots[r].bytes == bytes,
+                          "allreduce size mismatch");
+            const T* src = static_cast<const T*>(a.slots[r].in);
+            for (usize i = 0; i < n; ++i) acc[i] = op(acc[i], src[i]);
+          }
+          fill_out(a, 0, bytes);
+          return cost().allreduce(size(), nodes(), bytes, traffic);
+        });
+    if (bytes > 0) std::memcpy(out, ep.result.data(), bytes);
+    finish(ep);
+  }
+
+  template <class T, class Op>
+  T allreduce_value(T v, Op op) {
+    T out{};
+    allreduce(&v, &out, 1, op);
+    return out;
+  }
+
+  /// Gather n elements from each rank; out must hold n * size() elements,
+  /// ordered by member rank.
+  template <class T>
+  void allgather(const T* in, usize n, T* out) {
+    check_trivial<T>();
+    const usize bytes = n * sizeof(T);
+    auto& ep = collective(
+        detail::OpId::Allgather, in, bytes, nullptr,
+        [&](detail::EpochArena& a) {
+          a.result.resize(bytes * size());
+          for (int r = 0; r < size(); ++r) {
+            HDS_CHECK_MSG(a.slots[r].bytes == bytes,
+                          "allgather size mismatch");
+            if (bytes > 0)
+              std::memcpy(a.result.data() + bytes * r, a.slots[r].in, bytes);
+          }
+          fill_out(a, 0, bytes * size());
+          return cost().allgather(size(), nodes(), bytes,
+                                  net::Traffic::Control);
+        });
+    if (!ep.result.empty())
+      std::memcpy(out, ep.result.data(), ep.result.size());
+    finish(ep);
+  }
+
+  /// Variable-size allgather. Returns the concatenation in member order;
+  /// if `counts` is non-null it receives each member's element count.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> in,
+                            std::vector<usize>* counts = nullptr) {
+    check_trivial<T>();
+    usize max_bytes = 0;
+    auto& ep = collective(
+        detail::OpId::Allgatherv, in.data(), in.size() * sizeof(T), nullptr,
+        [&](detail::EpochArena& a) {
+          usize total = 0;
+          for (int r = 0; r < size(); ++r) {
+            total += a.slots[r].bytes;
+            max_bytes = std::max(max_bytes, a.slots[r].bytes);
+          }
+          a.result.resize(total);
+          usize off = 0;
+          for (int r = 0; r < size(); ++r) {
+            if (a.slots[r].bytes > 0)
+              std::memcpy(a.result.data() + off, a.slots[r].in,
+                          a.slots[r].bytes);
+            off += a.slots[r].bytes;
+          }
+          fill_out(a, 0, total);
+          return cost().allgather(size(), nodes(),
+                                  total / std::max(1, size()),
+                                  net::Traffic::Control);
+        });
+    std::vector<T> out(ep.result.size() / sizeof(T));
+    if (!ep.result.empty())
+      std::memcpy(out.data(), ep.result.data(), ep.result.size());
+    if (counts) {
+      counts->resize(size());
+      for (int r = 0; r < size(); ++r)
+        (*counts)[r] = ep.slots[r].bytes / sizeof(T);
+    }
+    finish(ep);
+    return out;
+  }
+
+  /// Gather variable-size contributions at `root` (member index). Non-root
+  /// ranks get an empty vector.
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> in, int root,
+                         std::vector<usize>* counts = nullptr) {
+    check_trivial<T>();
+    auto& ep = collective(
+        detail::OpId::Gatherv, in.data(), in.size() * sizeof(T), nullptr,
+        [&](detail::EpochArena& a) {
+          usize total = 0;
+          for (int r = 0; r < size(); ++r) total += a.slots[r].bytes;
+          a.result.resize(total);
+          usize off = 0;
+          for (int r = 0; r < size(); ++r) {
+            if (a.slots[r].bytes > 0)
+              std::memcpy(a.result.data() + off, a.slots[r].in,
+                          a.slots[r].bytes);
+            off += a.slots[r].bytes;
+          }
+          for (int r = 0; r < size(); ++r) {
+            a.out_off[r] = 0;
+            a.out_len[r] = (r == root) ? total : 0;
+          }
+          return cost().allgather(size(), nodes(),
+                                  total / std::max(1, size()),
+                                  net::Traffic::Control) /
+                 2.0;  // gather is one tree direction of an allgather
+        });
+    std::vector<T> out(ep.out_len[idx_] / sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), ep.result.data() + ep.out_off[idx_],
+                  ep.out_len[idx_]);
+    if (counts && idx_ == root) {
+      counts->resize(size());
+      for (int r = 0; r < size(); ++r)
+        (*counts)[r] = ep.slots[r].bytes / sizeof(T);
+    }
+    finish(ep);
+    return out;
+  }
+
+  /// Regular all-to-all: rank r's in[d*n .. d*n+n) goes to rank d; out is
+  /// laid out symmetrically by source rank.
+  template <class T>
+  void alltoall(const T* in, usize n, T* out,
+                net::Traffic traffic = net::Traffic::Control) {
+    check_trivial<T>();
+    const usize block = n * sizeof(T);
+    const usize bytes = block * size();
+    auto& ep = collective(
+        detail::OpId::Alltoall, in, bytes, nullptr,
+        [&](detail::EpochArena& a) {
+          a.result.resize(bytes * size());
+          for (int src = 0; src < size(); ++src) {
+            HDS_CHECK_MSG(a.slots[src].bytes == bytes,
+                          "alltoall size mismatch");
+            const auto* base = static_cast<const std::byte*>(a.slots[src].in);
+            for (int dst = 0; dst < size(); ++dst) {
+              if (block > 0)
+                std::memcpy(a.result.data() + (usize(dst) * size() + src) * block,
+                            base + usize(dst) * block, block);
+            }
+          }
+          for (int r = 0; r < size(); ++r) {
+            a.out_off[r] = usize(r) * bytes;
+            a.out_len[r] = bytes;
+          }
+          return cost().alltoall(size(), nodes(), block, traffic);
+        });
+    if (bytes > 0)
+      std::memcpy(out, ep.result.data() + ep.out_off[idx_], bytes);
+    finish(ep);
+  }
+
+  /// Irregular personalized exchange. `send_counts[d]` elements of `data`
+  /// (contiguous, in destination order) go to member d. Returns the
+  /// received elements ordered by source rank; `recv_counts` (optional)
+  /// receives the per-source counts.
+  template <class T>
+  std::vector<T> alltoallv(std::span<const T> data,
+                           std::span<const usize> send_counts,
+                           std::vector<usize>* recv_counts = nullptr,
+                           net::Traffic traffic = net::Traffic::Data) {
+    check_trivial<T>();
+    HDS_CHECK(send_counts.size() == static_cast<usize>(size()));
+    usize total_send = 0;
+    for (usize c : send_counts) total_send += c;
+    HDS_CHECK_MSG(total_send == data.size(),
+                  "alltoallv: send counts (" << total_send
+                      << ") != data size (" << data.size() << ")");
+
+    auto& ep = collective(
+        detail::OpId::Alltoallv, data.data(), data.size() * sizeof(T),
+        send_counts.data(), [&](detail::EpochArena& a) {
+          const int P = size();
+          // Receive layout: out[dst] = concat over src of block(src -> dst).
+          std::vector<usize> recv_bytes(P, 0);
+          for (int src = 0; src < P; ++src)
+            for (int dst = 0; dst < P; ++dst)
+              recv_bytes[dst] += a.slots[src].counts[dst] * sizeof(T);
+          usize total = 0;
+          for (int dst = 0; dst < P; ++dst) {
+            a.out_off[dst] = total;
+            a.out_len[dst] = recv_bytes[dst];
+            total += recv_bytes[dst];
+          }
+          // Arena layout: [data][P x P count matrix, row = destination].
+          // Counts live in the arena because the publishing rank's own
+          // count array may go out of scope as soon as it leaves the
+          // collective.
+          a.result.resize(total + usize(P) * P * sizeof(usize));
+          {
+            std::vector<usize> by_dst(usize(P) * P);
+            for (int dst = 0; dst < P; ++dst)
+              for (int src = 0; src < P; ++src)
+                by_dst[usize(dst) * P + src] = a.slots[src].counts[dst];
+            std::memcpy(a.result.data() + total, by_dst.data(),
+                        by_dst.size() * sizeof(usize));
+          }
+          std::vector<usize> cursor(a.out_off.begin(), a.out_off.begin() + P);
+          for (int src = 0; src < P; ++src) {
+            const auto* base = static_cast<const std::byte*>(a.slots[src].in);
+            usize src_off = 0;
+            for (int dst = 0; dst < P; ++dst) {
+              const usize b = a.slots[src].counts[dst] * sizeof(T);
+              if (b > 0) {
+                std::memcpy(a.result.data() + cursor[dst], base + src_off, b);
+                cursor[dst] += b;
+                src_off += b;
+              }
+            }
+          }
+          // Cost from the full byte matrix.
+          std::vector<usize> matrix(usize(P) * P);
+          for (int src = 0; src < P; ++src)
+            for (int dst = 0; dst < P; ++dst)
+              matrix[usize(src) * P + dst] =
+                  a.slots[src].counts[dst] * sizeof(T);
+          return cost().alltoallv(state_->members, matrix, traffic);
+        });
+    std::vector<T> out(ep.out_len[idx_] / sizeof(T));
+    if (!out.empty())
+      std::memcpy(out.data(), ep.result.data() + ep.out_off[idx_],
+                  ep.out_len[idx_]);
+    if (recv_counts) {
+      const usize P = static_cast<usize>(size());
+      recv_counts->resize(P);
+      const usize counts_off = ep.result.size() - P * P * sizeof(usize);
+      std::memcpy(recv_counts->data(),
+                  ep.result.data() + counts_off +
+                      static_cast<usize>(idx_) * P * sizeof(usize),
+                  P * sizeof(usize));
+    }
+    finish(ep);
+    return out;
+  }
+
+  /// Exclusive prefix scan: rank r receives op(init, v_0, ..., v_{r-1}).
+  template <class T, class Op>
+  T exscan_value(T v, Op op, T init) {
+    return scan_impl(v, op, init, /*inclusive=*/false);
+  }
+
+  /// Inclusive prefix scan: rank r receives op(v_0, ..., v_r).
+  template <class T, class Op>
+  T scan_value(T v, Op op) {
+    return scan_impl(v, op, T{}, /*inclusive=*/true);
+  }
+
+  /// Split this communicator into subgroups by color; ranks with the same
+  /// color form a new communicator ordered by (key, current rank). Mirrors
+  /// MPI_Comm_split, including its linear-in-P cost (Sec. III-C).
+  Comm split(int color, int key);
+
+  // --- point-to-point --------------------------------------------------------
+
+  template <class T>
+  void send(int dst, u64 tag, std::span<const T> data,
+            net::Traffic traffic = net::Traffic::Data) {
+    check_trivial<T>();
+    const rank_t dw = world_rank_of(dst);
+    const double dt =
+        cost().p2p(world_rank(), dw, data.size() * sizeof(T), traffic);
+    clock().advance(dt);  // synchronous send: sender busy for the transfer
+    Message msg;
+    msg.src = world_rank();
+    msg.tag = tag;
+    msg.arrival_s = clock().now();
+    msg.data.resize(data.size() * sizeof(T));
+    if (!msg.data.empty())
+      std::memcpy(msg.data.data(), data.data(), msg.data.size());
+    team_->mailboxes_[dw]->push(std::move(msg));
+  }
+
+  /// Transfer without any simulated-time charge. For modelled baselines
+  /// whose cost is accounted analytically (e.g. the TBB merge-sort stand-in)
+  /// — never use this for algorithms whose cost the experiments measure.
+  template <class T>
+  void send_uncharged(int dst, u64 tag, std::span<const T> data) {
+    check_trivial<T>();
+    Message msg;
+    msg.src = world_rank();
+    msg.tag = tag;
+    msg.arrival_s = clock().now();
+    msg.data.resize(data.size() * sizeof(T));
+    if (!msg.data.empty())
+      std::memcpy(msg.data.data(), data.data(), msg.data.size());
+    team_->mailboxes_[world_rank_of(dst)]->push(std::move(msg));
+  }
+
+  template <class T>
+  std::vector<T> recv(int src, u64 tag) {
+    check_trivial<T>();
+    Message msg = team_->mailboxes_[world_rank()]->pop(world_rank_of(src), tag);
+    clock().sync_to(std::max(clock().now(), msg.arrival_s));
+    std::vector<T> out(msg.data.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), msg.data.data(), msg.data.size());
+    return out;
+  }
+
+ private:
+  template <class T>
+  static void check_trivial() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "hds collectives transport trivially copyable types only");
+  }
+
+  int nodes() const { return state_->nodes_spanned; }
+
+  void zero_out(detail::EpochArena& a) {
+    a.result.clear();
+    fill_out(a, 0, 0);
+  }
+
+  void fill_out(detail::EpochArena& a, usize off, usize len) {
+    for (int r = 0; r < size(); ++r) {
+      a.out_off[r] = off;
+      a.out_len[r] = len;
+    }
+  }
+
+  /// The generic two-barrier collective. `root_fn` runs on member 0 between
+  /// the barriers and must populate result/out_off/out_len and return the
+  /// modelled cost in seconds.
+  template <class RootFn>
+  detail::EpochArena& collective(detail::OpId op, const void* in, usize bytes,
+                                 const usize* counts, RootFn&& root_fn) {
+    auto& ep = state_->epochs[round_++ & 1u];
+    auto& slot = ep.slots[idx_];
+    slot.in = in;
+    slot.bytes = bytes;
+    slot.counts = counts;
+    slot.clock = clock().now();
+    slot.op_id = static_cast<u32>(op);
+    state_->barrier.wait();
+    if (idx_ == 0) {
+      double entry = 0.0;
+      for (const auto& s : ep.slots) {
+        HDS_ASSERT(s.op_id == static_cast<u32>(op));
+        entry = std::max(entry, s.clock);
+      }
+      ep.sync_time = entry + root_fn(ep);
+    }
+    state_->barrier.wait();
+    return ep;
+  }
+
+  /// Common epilogue: fast-forward the clock to the collective exit time.
+  void finish(detail::EpochArena& ep) { clock().sync_to(ep.sync_time); }
+
+  template <class T, class Op>
+  T scan_impl(T v, Op op, T init, bool inclusive) {
+    check_trivial<T>();
+    auto& ep = collective(
+        inclusive ? detail::OpId::Scan : detail::OpId::Exscan, &v, sizeof(T),
+        nullptr, [&](detail::EpochArena& a) {
+          a.result.resize(sizeof(T) * size());
+          T* out = reinterpret_cast<T*>(a.result.data());
+          T acc = init;
+          for (int r = 0; r < size(); ++r) {
+            const T x = *static_cast<const T*>(a.slots[r].in);
+            if (inclusive) {
+              acc = (r == 0) ? x : op(acc, x);
+              out[r] = acc;
+            } else {
+              out[r] = acc;
+              acc = (r == 0) ? op(init, x) : op(acc, x);
+            }
+          }
+          for (int r = 0; r < size(); ++r) {
+            a.out_off[r] = sizeof(T) * static_cast<usize>(r);
+            a.out_len[r] = sizeof(T);
+          }
+          return cost().scan(size(), nodes(), sizeof(T),
+                             net::Traffic::Control);
+        });
+    T out;
+    std::memcpy(&out, ep.result.data() + ep.out_off[idx_], sizeof(T));
+    finish(ep);
+    return out;
+  }
+
+  Team* team_;
+  detail::CommState* state_;
+  int idx_;
+  u64 round_ = 0;
+};
+
+}  // namespace hds::runtime

@@ -1,0 +1,92 @@
+// GlobalVector: a PGAS-style distributed container in the spirit of
+// dash::Array. Storage is partitioned into per-rank shards; each rank
+// operates on its local shard ("owner computes") and may perform one-sided
+// get/put on remote shards, which are charged with p2p costs like MPI-3 RMA.
+//
+// One-sided accesses require the same quiescence discipline as RMA epochs:
+// do not get() from a shard another rank is concurrently resizing; separate
+// such phases with a barrier.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/comm.h"
+
+namespace hds::runtime {
+
+template <class T>
+class GlobalVector {
+ public:
+  /// Create with one (initially empty) shard per rank. Construct before
+  /// Team::run and share by reference with all ranks.
+  explicit GlobalVector(int nranks) : shards_(nranks) {
+    HDS_CHECK(nranks >= 1);
+  }
+
+  int nshards() const { return static_cast<int>(shards_.size()); }
+
+  /// This rank's shard (by world rank).
+  std::vector<T>& local(Comm& comm) { return shards_[comm.world_rank()]; }
+  const std::vector<T>& local(Comm& comm) const {
+    return shards_[comm.world_rank()];
+  }
+
+  /// Direct shard access for setup/verification outside Team::run.
+  std::vector<T>& shard(rank_t r) { return shards_.at(r); }
+  const std::vector<T>& shard(rank_t r) const { return shards_.at(r); }
+
+  /// Collective: recompute the global index (shard offsets). Must be called
+  /// after shard sizes change and before global_size/locate/get/put.
+  void rebuild_index(Comm& comm) {
+    const usize n = shards_[comm.world_rank()].size();
+    offsets_.assign(comm.size() + 1, 0);
+    std::vector<usize> sizes(comm.size());
+    comm.allgather(&n, 1, sizes.data());
+    std::partial_sum(sizes.begin(), sizes.end(), offsets_.begin() + 1);
+  }
+
+  usize global_size() const {
+    HDS_CHECK_MSG(!offsets_.empty(), "rebuild_index() before global_size()");
+    return offsets_.back();
+  }
+
+  /// Map a global index to (owner shard, local index).
+  std::pair<rank_t, usize> locate(usize gidx) const {
+    HDS_CHECK_MSG(!offsets_.empty(), "rebuild_index() before locate()");
+    HDS_CHECK(gidx < offsets_.back());
+    // binary search over offsets
+    usize lo = 0, hi = offsets_.size() - 2;
+    while (lo < hi) {
+      const usize mid = (lo + hi + 1) / 2;
+      if (offsets_[mid] <= gidx)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    return {static_cast<rank_t>(lo), gidx - offsets_[lo]};
+  }
+
+  /// One-sided read of a single element (charged as a small RMA get).
+  T get(Comm& comm, usize gidx) const {
+    const auto [owner, li] = locate(gidx);
+    comm.charge_seconds(comm.cost().p2p(comm.world_rank(), owner, sizeof(T),
+                                        net::Traffic::Control));
+    return shards_[owner][li];
+  }
+
+  /// One-sided write of a single element (charged as a small RMA put).
+  void put(Comm& comm, usize gidx, T value) {
+    const auto [owner, li] = locate(gidx);
+    comm.charge_seconds(comm.cost().p2p(comm.world_rank(), owner, sizeof(T),
+                                        net::Traffic::Control));
+    shards_[owner][li] = value;
+  }
+
+ private:
+  std::vector<std::vector<T>> shards_;
+  std::vector<usize> offsets_;  ///< shard start offsets; size nshards + 1
+};
+
+}  // namespace hds::runtime

@@ -1,0 +1,68 @@
+// Point-to-point messaging between ranks: one MPSC mailbox per rank with
+// (source, tag) matching, FIFO per channel, and simulated arrival times so
+// the receiver's clock advances consistently with the cost model.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/barrier.h"
+
+namespace hds::runtime {
+
+struct Message {
+  rank_t src = 0;
+  u64 tag = 0;
+  std::vector<std::byte> data;
+  double arrival_s = 0.0;  ///< simulated time the message is fully received
+};
+
+class Mailbox {
+ public:
+  explicit Mailbox(const std::atomic<bool>* abort_flag) : abort_(abort_flag) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void push(Message msg) {
+    {
+      std::lock_guard lock(mu_);
+      msgs_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Pop the oldest message matching (src, tag). Blocks; throws team_aborted
+  /// if the team is poisoned while waiting.
+  Message pop(rank_t src, u64 tag) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (abort_->load(std::memory_order_relaxed)) throw team_aborted();
+      for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Message out = std::move(*it);
+          msgs_.erase(it);
+          return out;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  void poison() {
+    std::lock_guard lock(mu_);
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> msgs_;
+  const std::atomic<bool>* abort_;
+};
+
+}  // namespace hds::runtime

@@ -1,0 +1,191 @@
+#include "runtime/team.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+#include "runtime/comm.h"
+
+namespace hds::runtime {
+
+namespace detail {
+
+CommState::CommState(std::vector<rank_t> member_ranks,
+                     const net::MachineModel& m,
+                     const std::atomic<bool>* abort_flag)
+    : members(std::move(member_ranks)),
+      barrier(static_cast<int>(members.size()), abort_flag) {
+  HDS_CHECK(!members.empty());
+  std::vector<int> nodes;
+  nodes.reserve(members.size());
+  for (rank_t r : members) nodes.push_back(m.node_of(r));
+  std::sort(nodes.begin(), nodes.end());
+  nodes_spanned =
+      static_cast<int>(std::unique(nodes.begin(), nodes.end()) - nodes.begin());
+  for (auto& ep : epochs) {
+    ep.slots.resize(members.size());
+    ep.out_off.resize(members.size());
+    ep.out_len.resize(members.size());
+  }
+}
+
+}  // namespace detail
+
+Team::Team(TeamConfig cfg) : cfg_(cfg) {
+  HDS_CHECK(cfg_.nranks >= 1);
+  HDS_CHECK(cfg_.data_scale > 0.0);
+  if (cfg_.machine.total_ranks() != cfg_.nranks) {
+    // No explicit placement given: host all ranks on one node.
+    cfg_.machine.nodes = 1;
+    cfg_.machine.ranks_per_node = cfg_.nranks;
+  }
+  cost_ = net::CostModel(cfg_.machine, cfg_.data_scale);
+  std::vector<rank_t> all(cfg_.nranks);
+  for (int r = 0; r < cfg_.nranks; ++r) all[r] = r;
+  world_ = std::make_unique<detail::CommState>(std::move(all), cfg_.machine,
+                                               &abort_);
+  clocks_.resize(cfg_.nranks);
+  final_times_.resize(cfg_.nranks, 0.0);
+}
+
+Team::~Team() = default;
+
+void Team::run(const std::function<void(Comm&)>& fn) {
+  abort_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  first_error_is_abort_ = false;
+  for (auto& c : clocks_) c.reset();
+  {
+    std::lock_guard lock(subteam_mu_);
+    subteams_.clear();
+  }
+  mailboxes_.clear();
+  mailboxes_.reserve(cfg_.nranks);
+  for (int r = 0; r < cfg_.nranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>(&abort_));
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.nranks);
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    threads.emplace_back([this, &fn, r] {
+      Comm comm(this, world_.get(), r);
+      try {
+        fn(comm);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+
+  stats_ = net::TeamStats{};
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    final_times_[r] = clocks_[r].now();
+    stats_.makespan_s = std::max(stats_.makespan_s, clocks_[r].now());
+    for (usize p = 0; p < net::kPhaseCount; ++p)
+      stats_.phase_s[p] +=
+          clocks_[r].phase_seconds(static_cast<net::Phase>(p));
+  }
+  for (auto& v : stats_.phase_s) v /= cfg_.nranks;
+}
+
+detail::CommState* Team::register_subteam(
+    std::unique_ptr<detail::CommState> state) {
+  std::lock_guard lock(subteam_mu_);
+  subteams_.push_back(std::move(state));
+  return subteams_.back().get();
+}
+
+void Team::record_error(std::exception_ptr ep) {
+  bool is_abort = false;
+  try {
+    std::rethrow_exception(ep);
+  } catch (const team_aborted&) {
+    is_abort = true;
+  } catch (...) {
+  }
+  {
+    std::lock_guard lock(err_mu_);
+    if (!first_error_ || (first_error_is_abort_ && !is_abort)) {
+      first_error_ = ep;
+      first_error_is_abort_ = is_abort;
+    }
+  }
+  abort_.store(true, std::memory_order_relaxed);
+  poison_all();
+}
+
+void Team::poison_all() {
+  world_->barrier.poison();
+  {
+    std::lock_guard lock(subteam_mu_);
+    for (auto& st : subteams_) st->barrier.poison();
+  }
+  for (auto& mb : mailboxes_) mb->poison();
+}
+
+Comm Comm::split(int color, int key) {
+  struct CK {
+    int color;
+    int key;
+  };
+  struct Assignment {
+    detail::CommState* state;
+    int idx;
+  };
+  const CK my{color, key};
+  auto& ep = collective(
+      detail::OpId::Split, &my, sizeof(CK), nullptr,
+      [&](detail::EpochArena& a) {
+        const int P = size();
+        struct Ent {
+          int color;
+          int key;
+          int member;
+        };
+        std::vector<Ent> ents(P);
+        for (int r = 0; r < P; ++r) {
+          const CK* ck = static_cast<const CK*>(a.slots[r].in);
+          ents[r] = Ent{ck->color, ck->key, r};
+        }
+        std::sort(ents.begin(), ents.end(), [](const Ent& x, const Ent& y) {
+          return std::tie(x.color, x.key, x.member) <
+                 std::tie(y.color, y.key, y.member);
+        });
+        a.result.resize(sizeof(Assignment) * P);
+        auto* out = reinterpret_cast<Assignment*>(a.result.data());
+        usize i = 0;
+        while (i < ents.size()) {
+          usize j = i;
+          while (j < ents.size() && ents[j].color == ents[i].color) ++j;
+          std::vector<rank_t> group;
+          group.reserve(j - i);
+          for (usize k = i; k < j; ++k)
+            group.push_back(state_->members[ents[k].member]);
+          auto st = std::make_unique<detail::CommState>(
+              std::move(group), cost().machine(), &team_->abort_);
+          detail::CommState* ptr = team_->register_subteam(std::move(st));
+          for (usize k = i; k < j; ++k)
+            out[ents[k].member] = Assignment{ptr, static_cast<int>(k - i)};
+          i = j;
+        }
+        for (int r = 0; r < P; ++r) {
+          a.out_off[r] = sizeof(Assignment) * static_cast<usize>(r);
+          a.out_len[r] = sizeof(Assignment);
+        }
+        // MPI_Comm_split: an allgather of (color, key) plus linear local
+        // processing — the blocking O(P) cost Sec. III-C warns about.
+        return cost().allgather(P, nodes(), sizeof(CK),
+                                net::Traffic::Control) +
+               5.0e-8 * static_cast<double>(P);
+      });
+  Assignment assign;
+  std::memcpy(&assign, ep.result.data() + ep.out_off[idx_],
+              sizeof(Assignment));
+  finish(ep);
+  return Comm(team_, assign.state, assign.idx);
+}
+
+}  // namespace hds::runtime

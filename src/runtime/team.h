@@ -1,0 +1,120 @@
+// Team: the process-local stand-in for an MPI job. Each rank runs as a
+// std::thread; collectives operate through shared memory with the same
+// blocking bulk-synchronous semantics MPI provides. A per-rank SimClock is
+// advanced by analytic computation charges and synchronized at collectives
+// using the net::CostModel, which is what makes single-box runs reproduce
+// cluster-scale timing shapes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "net/cost_model.h"
+#include "net/machine.h"
+#include "net/sim.h"
+#include "runtime/barrier.h"
+#include "runtime/mailbox.h"
+
+namespace hds::runtime {
+
+class Comm;
+
+struct TeamConfig {
+  int nranks = 4;
+  /// Machine the cost model charges against. If its rank layout does not
+  /// cover `nranks`, it is replaced by a single node hosting all ranks.
+  net::MachineModel machine{};
+  /// Virtual workload multiplier: data-volume cost terms and computation
+  /// charges are scaled by this factor (see net::CostModel).
+  double data_scale = 1.0;
+};
+
+namespace detail {
+
+/// One rank's contribution to the collective in flight.
+struct PubSlot {
+  const void* in = nullptr;
+  usize bytes = 0;
+  const usize* counts = nullptr;  ///< optional per-destination element counts
+  double clock = 0.0;
+  u32 op_id = 0;  ///< collective type, checked in debug builds
+};
+
+/// Double-buffered collective arena (one per parity) — two barriers per
+/// collective suffice because slots of parity e are not republished before
+/// every rank has finished reading epoch e's result (see Comm::collective).
+struct EpochArena {
+  std::vector<PubSlot> slots;
+  std::vector<std::byte> result;
+  std::vector<usize> out_off;
+  std::vector<usize> out_len;
+  double sync_time = 0.0;
+};
+
+/// Shared state of one communicator (the world or a split subgroup).
+struct CommState {
+  CommState(std::vector<rank_t> member_ranks, const net::MachineModel& m,
+            const std::atomic<bool>* abort_flag);
+
+  std::vector<rank_t> members;  ///< world ranks, ordered by split key
+  int nodes_spanned = 1;
+  Barrier barrier;
+  std::array<EpochArena, 2> epochs;
+};
+
+}  // namespace detail
+
+class Team {
+ public:
+  explicit Team(TeamConfig cfg);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// Run `fn` on every rank; blocks until all ranks return. Clocks are
+  /// reset first. If a rank throws, the team is poisoned, remaining ranks
+  /// unwind via team_aborted, and the original exception is rethrown here.
+  void run(const std::function<void(Comm&)>& fn);
+
+  int size() const { return cfg_.nranks; }
+  const TeamConfig& config() const { return cfg_; }
+  const net::CostModel& cost() const { return cost_; }
+
+  /// Timing aggregates of the most recent run().
+  const net::TeamStats& stats() const { return stats_; }
+  /// Final simulated clock of one rank from the most recent run().
+  double rank_time(rank_t r) const { return final_times_.at(r); }
+
+ private:
+  friend class Comm;
+
+  detail::CommState* register_subteam(
+      std::unique_ptr<detail::CommState> state);
+  void record_error(std::exception_ptr ep);
+  void poison_all();
+
+  TeamConfig cfg_;
+  net::CostModel cost_;
+  std::atomic<bool> abort_{false};
+  std::unique_ptr<detail::CommState> world_;
+  std::vector<net::SimClock> clocks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex subteam_mu_;
+  std::vector<std::unique_ptr<detail::CommState>> subteams_;
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+  bool first_error_is_abort_ = false;
+
+  net::TeamStats stats_{};
+  std::vector<double> final_times_;
+};
+
+}  // namespace hds::runtime

@@ -1,0 +1,209 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hds::workload {
+
+std::string_view dist_name(Dist d) {
+  switch (d) {
+    case Dist::Uniform: return "uniform";
+    case Dist::Normal: return "normal";
+    case Dist::Exponential: return "exponential";
+    case Dist::Zipf: return "zipf";
+    case Dist::NearlySorted: return "nearly-sorted";
+    case Dist::ReverseSorted: return "reverse-sorted";
+    case Dist::AllEqual: return "all-equal";
+    case Dist::FewDistinct: return "few-distinct";
+    case Dist::Staircase: return "staircase";
+  }
+  return "?";
+}
+
+Dist dist_from_name(std::string_view name) {
+  for (Dist d : all_dists())
+    if (dist_name(d) == name) return d;
+  throw argument_error("unknown distribution: " + std::string(name));
+}
+
+const std::vector<Dist>& all_dists() {
+  static const std::vector<Dist> kAll = {
+      Dist::Uniform,       Dist::Normal,     Dist::Exponential,
+      Dist::Zipf,          Dist::NearlySorted, Dist::ReverseSorted,
+      Dist::AllEqual,      Dist::FewDistinct,  Dist::Staircase,
+  };
+  return kAll;
+}
+
+usize rank_count(const GenConfig& cfg, int rank, usize n) {
+  if (cfg.sparsity > 0.0) {
+    const u64 h = hash_mix(cfg.seed ^ 0x5b5e5ca11ab1e5ULL,
+                           static_cast<u64>(rank));
+    if (static_cast<double>(h % 1000) < cfg.sparsity * 1000.0) return 0;
+  }
+  return n;
+}
+
+namespace {
+
+Xoshiro256 rank_rng(const GenConfig& cfg, int rank) {
+  return Xoshiro256(hash_mix(cfg.seed, static_cast<u64>(rank)));
+}
+
+/// Bounded Zipf sampler over {1..alphabet} via inverse-CDF on a precomputed
+/// table (alphabet is small by construction).
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 alphabet, double s) : cdf_(alphabet) {
+    HDS_CHECK(alphabet >= 1);
+    double sum = 0.0;
+    for (u64 k = 1; k <= alphabet; ++k)
+      sum += 1.0 / std::pow(static_cast<double>(k), s);
+    double acc = 0.0;
+    for (u64 k = 1; k <= alphabet; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s) / sum;
+      cdf_[k - 1] = acc;
+    }
+    cdf_.back() = 1.0;
+  }
+
+  u64 operator()(Xoshiro256& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<u64>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+template <class T>
+std::vector<T> generate_impl(const GenConfig& cfg, int rank, int nranks,
+                             usize n) {
+  HDS_CHECK(nranks >= 1);
+  HDS_CHECK(rank >= 0 && rank < nranks);
+  const usize count = rank_count(cfg, rank, n);
+  std::vector<T> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  Xoshiro256 rng = rank_rng(cfg, rank);
+  const double span = static_cast<double>(cfg.hi - cfg.lo);
+
+  switch (cfg.dist) {
+    case Dist::Uniform:
+      if constexpr (std::is_floating_point_v<T>) {
+        for (usize i = 0; i < count; ++i)
+          out.push_back(static_cast<T>(
+              static_cast<double>(cfg.lo) + rng.uniform01() * span));
+      } else {
+        for (usize i = 0; i < count; ++i)
+          out.push_back(static_cast<T>(rng.uniform_u64(cfg.lo, cfg.hi)));
+      }
+      break;
+    case Dist::Normal:
+      for (usize i = 0; i < count; ++i) {
+        const double v = cfg.mean + cfg.stddev * rng.normal();
+        if constexpr (std::is_floating_point_v<T>) {
+          out.push_back(static_cast<T>(v));
+        } else {
+          // Shift into the configured non-negative range, clamped.
+          const double centered =
+              static_cast<double>(cfg.lo) + span / 2.0 + v * span / 8.0;
+          const double clamped = std::clamp(
+              centered, static_cast<double>(cfg.lo), static_cast<double>(cfg.hi));
+          out.push_back(static_cast<T>(clamped));
+        }
+      }
+      break;
+    case Dist::Exponential:
+      for (usize i = 0; i < count; ++i) {
+        const double v = rng.exponential(4.0 / std::max(span, 1.0));
+        if constexpr (std::is_floating_point_v<T>) {
+          out.push_back(static_cast<T>(v));
+        } else {
+          out.push_back(static_cast<T>(
+              std::min(static_cast<double>(cfg.hi),
+                       static_cast<double>(cfg.lo) + v)));
+        }
+      }
+      break;
+    case Dist::Zipf: {
+      const ZipfSampler zipf(cfg.alphabet == 0 ? 1024 : cfg.alphabet * 64,
+                             cfg.zipf_s);
+      for (usize i = 0; i < count; ++i)
+        out.push_back(static_cast<T>(zipf(rng)));
+      break;
+    }
+    case Dist::NearlySorted: {
+      // Globally ascending ramp with ±1% local jitter.
+      const double g0 = static_cast<double>(rank) * static_cast<double>(count);
+      const double total =
+          static_cast<double>(nranks) * static_cast<double>(count);
+      for (usize i = 0; i < count; ++i) {
+        const double pos = (g0 + static_cast<double>(i)) / std::max(total, 1.0);
+        const double jitter = (rng.uniform01() - 0.5) * 0.02;
+        const double t = std::clamp(pos + jitter, 0.0, 1.0);
+        out.push_back(static_cast<T>(static_cast<double>(cfg.lo) + t * span));
+      }
+      break;
+    }
+    case Dist::ReverseSorted: {
+      const double g0 = static_cast<double>(rank) * static_cast<double>(count);
+      const double total =
+          static_cast<double>(nranks) * static_cast<double>(count);
+      for (usize i = 0; i < count; ++i) {
+        const double pos =
+            1.0 - (g0 + static_cast<double>(i)) / std::max(total, 1.0);
+        out.push_back(static_cast<T>(static_cast<double>(cfg.lo) + pos * span));
+      }
+      break;
+    }
+    case Dist::AllEqual:
+      out.assign(count, static_cast<T>(cfg.lo + (cfg.hi - cfg.lo) / 2));
+      break;
+    case Dist::FewDistinct: {
+      const u64 a = std::max<u64>(cfg.alphabet, 1);
+      for (usize i = 0; i < count; ++i) {
+        const u64 k = rng.uniform_u64(0, a - 1);
+        out.push_back(static_cast<T>(cfg.lo + k * ((cfg.hi - cfg.lo) /
+                                                   std::max<u64>(a, 1))));
+      }
+      break;
+    }
+    case Dist::Staircase: {
+      // Rank r's keys live in the r-th slice of the range: the input is
+      // already nearly range-partitioned but in rank-reversed order, which
+      // defeats random samplers and produces maximal exchange volume.
+      const int slice = nranks - 1 - rank;
+      const double w = span / static_cast<double>(nranks);
+      const double base = static_cast<double>(cfg.lo) + w * slice;
+      for (usize i = 0; i < count; ++i)
+        out.push_back(static_cast<T>(base + rng.uniform01() * w));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<u64> generate_u64(const GenConfig& cfg, int rank, int nranks,
+                              usize n) {
+  return generate_impl<u64>(cfg, rank, nranks, n);
+}
+
+std::vector<double> generate_f64(const GenConfig& cfg, int rank, int nranks,
+                                 usize n) {
+  return generate_impl<double>(cfg, rank, nranks, n);
+}
+
+std::vector<u32> generate_u32(const GenConfig& cfg, int rank, int nranks,
+                              usize n) {
+  GenConfig c = cfg;
+  c.hi = std::min<u64>(c.hi, 0xffffffffULL);
+  return generate_impl<u32>(c, rank, nranks, n);
+}
+
+}  // namespace hds::workload

@@ -1,0 +1,72 @@
+// Input workload generators for the sorting experiments.
+//
+// Every generator is deterministic in (seed, rank, nranks): each rank fills
+// its local partition independently of thread scheduling, so any experiment
+// can be reproduced bit-for-bit. The distributions cover the paper's
+// benchmark inputs (uniform u64 in [0, 1e9], normal doubles) plus the skewed,
+// nearly-sorted, duplicate-heavy and sparse cases Sec. V-A discusses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace hds::workload {
+
+enum class Dist : u8 {
+  Uniform,       ///< uniform over a configurable range (paper: [0, 1e9])
+  Normal,        ///< normal, mean/stddev configurable
+  Exponential,   ///< exponential tail — mild skew
+  Zipf,          ///< heavy skew, many duplicates of small values
+  NearlySorted,  ///< globally ascending with local perturbations
+  ReverseSorted, ///< globally descending
+  AllEqual,      ///< every key identical — worst case for pure bisection
+  FewDistinct,   ///< keys drawn from a tiny alphabet
+  Staircase,     ///< rank r holds keys clustered around r — adversarial for
+                 ///< samplers, easy for histogramming
+};
+
+std::string_view dist_name(Dist d);
+/// Parse a name as produced by dist_name; throws argument_error on unknown.
+Dist dist_from_name(std::string_view name);
+/// All generators, for parameterized sweeps.
+const std::vector<Dist>& all_dists();
+
+struct GenConfig {
+  Dist dist = Dist::Uniform;
+  u64 seed = 42;
+  // Uniform / integral range:
+  u64 lo = 0;
+  u64 hi = 1'000'000'000;  ///< the paper's strong/weak scaling range
+  // Normal:
+  double mean = 0.0;
+  double stddev = 1.0;
+  // Zipf / FewDistinct:
+  double zipf_s = 1.2;
+  u64 alphabet = 16;
+  /// Fraction of ranks that contribute zero elements (sparse partitioning,
+  /// Sec. VII). Rank r is empty iff hash(seed, r) mod 1000 < sparsity*1000.
+  double sparsity = 0.0;
+};
+
+/// Number of elements rank `rank` generates when the nominal per-rank count
+/// is `n` (zero if the rank is sparse-empty).
+usize rank_count(const GenConfig& cfg, int rank, usize n);
+
+/// Fill rank `rank`'s local partition with `n` nominal elements of u64 keys.
+std::vector<u64> generate_u64(const GenConfig& cfg, int rank, int nranks,
+                              usize n);
+
+/// Same for doubles (Normal/Uniform/Exponential use the real-valued law;
+/// integral laws are cast).
+std::vector<double> generate_f64(const GenConfig& cfg, int rank, int nranks,
+                                 usize n);
+
+/// Fill for 32-bit keys (values reduced mod 2^32-aware range).
+std::vector<u32> generate_u32(const GenConfig& cfg, int rank, int nranks,
+                              usize n);
+
+}  // namespace hds::workload

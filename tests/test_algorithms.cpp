@@ -1,0 +1,200 @@
+// Tests for the distributed STL-like algorithms layer (algorithms.h)
+// against sequential oracles, including empty and sparse inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "runtime/team.h"
+
+namespace hds::core {
+namespace {
+
+using runtime::Comm;
+using runtime::Team;
+
+std::vector<std::vector<i64>> random_shards(int P, u64 seed,
+                                            usize max_per_rank = 500) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<i64>> shards(P);
+  for (auto& s : shards) {
+    const usize n = rng() % max_per_rank;
+    for (usize i = 0; i < n; ++i)
+      s.push_back(static_cast<i64>(rng() % 1000) - 500);
+  }
+  return shards;
+}
+
+std::vector<i64> flatten(const std::vector<std::vector<i64>>& shards) {
+  std::vector<i64> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  return all;
+}
+
+TEST(Algorithms, GlobalSize) {
+  const auto shards = random_shards(5, 1);
+  const auto all = flatten(shards);
+  Team team({.nranks = 5});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    EXPECT_EQ(global_size(c, std::span<const i64>(local)), all.size());
+  });
+}
+
+TEST(Algorithms, MinMaxMatchOracle) {
+  const auto shards = random_shards(6, 2);
+  const auto all = flatten(shards);
+  ASSERT_FALSE(all.empty());
+  Team team({.nranks = 6});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    EXPECT_EQ(*min_value(c, std::span<const i64>(local)),
+              *std::min_element(all.begin(), all.end()));
+    EXPECT_EQ(*max_value(c, std::span<const i64>(local)),
+              *std::max_element(all.begin(), all.end()));
+  });
+}
+
+TEST(Algorithms, MinMaxEmptyGivesNullopt) {
+  Team team({.nranks = 3});
+  team.run([&](Comm& c) {
+    std::vector<i64> empty;
+    EXPECT_FALSE(min_value(c, std::span<const i64>(empty)).has_value());
+    EXPECT_FALSE(max_value(c, std::span<const i64>(empty)).has_value());
+  });
+}
+
+TEST(Algorithms, MinMaxWithSomeEmptyRanks) {
+  std::vector<std::vector<i64>> shards = {{}, {5, -3}, {}, {10}};
+  Team team({.nranks = 4});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    EXPECT_EQ(*min_value(c, std::span<const i64>(local)), -3);
+    EXPECT_EQ(*max_value(c, std::span<const i64>(local)), 10);
+  });
+}
+
+TEST(Algorithms, ReduceSum) {
+  const auto shards = random_shards(4, 3);
+  const auto all = flatten(shards);
+  const i64 expected = std::accumulate(all.begin(), all.end(), i64{0});
+  Team team({.nranks = 4});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    EXPECT_EQ(reduce(c, std::span<const i64>(local), i64{0}, std::plus<>{}),
+              expected);
+  });
+}
+
+TEST(Algorithms, CountAndCountIf) {
+  const auto shards = random_shards(7, 4);
+  const auto all = flatten(shards);
+  const u64 negatives = std::count_if(all.begin(), all.end(),
+                                      [](i64 v) { return v < 0; });
+  const u64 zeros = std::count(all.begin(), all.end(), i64{0});
+  Team team({.nranks = 7});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    EXPECT_EQ(count_if(c, std::span<const i64>(local),
+                       [](i64 v) { return v < 0; }),
+              negatives);
+    EXPECT_EQ(count(c, std::span<const i64>(local), i64{0}), zeros);
+  });
+}
+
+TEST(Algorithms, InclusiveScanMatchesOracle) {
+  auto shards = random_shards(5, 5, 100);
+  const auto all = flatten(shards);
+  std::vector<i64> expected(all.size());
+  std::partial_sum(all.begin(), all.end(), expected.begin());
+
+  std::vector<std::vector<i64>> out(5);
+  Team team({.nranks = 5});
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    inclusive_scan(c, std::span<i64>(local));
+    out[c.rank()] = std::move(local);
+  });
+  std::vector<i64> got;
+  for (const auto& o : out) got.insert(got.end(), o.begin(), o.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Algorithms, MedianAndQuantiles) {
+  auto shards = random_shards(6, 6);
+  auto all = flatten(shards);
+  ASSERT_GT(all.size(), 10u);
+  std::sort(all.begin(), all.end());
+  Team team({.nranks = 6});
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    EXPECT_EQ(median_value(c, std::span<i64>(local)),
+              all[(all.size() - 1) / 2]);
+  });
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    EXPECT_EQ(quantile(c, std::span<i64>(local), 0.25),
+              all[std::min(all.size() - 1,
+                           static_cast<usize>(0.25 * all.size()))]);
+  });
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    EXPECT_EQ(quantile(c, std::span<i64>(local), 1.0), all.back());
+    EXPECT_EQ(quantile(c, std::span<i64>(local), 0.0), all.front());
+  });
+}
+
+TEST(Algorithms, MedianOfEmptyThrows) {
+  Team team({.nranks = 2});
+  EXPECT_THROW(team.run([&](Comm& c) {
+                 std::vector<i64> empty;
+                 median_value(c, std::span<i64>(empty));
+               }),
+               invariant_error);
+}
+
+TEST(Algorithms, HistogramSumsToNAndMatchesOracle) {
+  const auto shards = random_shards(4, 7);
+  const auto all = flatten(shards);
+  const usize bins = 8;
+  std::vector<u64> expected(bins, 0);
+  for (i64 v : all) {
+    const double pos = (static_cast<double>(v) + 500.0) / (1000.0 / bins);
+    const usize b =
+        pos < 0 ? 0 : pos >= bins ? bins - 1 : static_cast<usize>(pos);
+    ++expected[b];
+  }
+  Team team({.nranks = 4});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    const auto h = histogram(c, std::span<const i64>(local), i64{-500},
+                             i64{500}, bins);
+    EXPECT_EQ(h, expected);
+    u64 total = 0;
+    for (u64 x : h) total += x;
+    EXPECT_EQ(total, all.size());
+  });
+}
+
+TEST(Algorithms, IsSortedDetectsBoundaryViolations) {
+  Team team({.nranks = 3});
+  std::vector<std::vector<i64>> good = {{1, 2}, {3, 4}, {5}};
+  std::vector<std::vector<i64>> bad = {{1, 5}, {3, 4}, {6}};
+  team.run([&](Comm& c) {
+    EXPECT_TRUE(is_sorted(c, std::span<const i64>(good[c.rank()])));
+    EXPECT_FALSE(is_sorted(c, std::span<const i64>(bad[c.rank()])));
+  });
+}
+
+TEST(Algorithms, IsSortedIgnoresEmptyRanks) {
+  Team team({.nranks = 4});
+  std::vector<std::vector<i64>> shards = {{1, 2}, {}, {2, 9}, {}};
+  team.run([&](Comm& c) {
+    EXPECT_TRUE(is_sorted(c, std::span<const i64>(shards[c.rank()])));
+  });
+}
+
+}  // namespace
+}  // namespace hds::core

@@ -1,0 +1,174 @@
+// Tests for the local k-way merge strategies (Sec. V-C): loser tree,
+// binary merge tree, and re-sort, against std::merge / std::sort oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/merge.h"
+#include "runtime/team.h"
+
+namespace hds::core {
+namespace {
+
+using runtime::Comm;
+using runtime::Team;
+
+[[maybe_unused]] auto identity = [](const auto& v) { return v; };
+
+/// Build `k` sorted chunks with the given sizes; returns (data, counts).
+std::pair<std::vector<u32>, std::vector<usize>> make_chunks(
+    std::vector<usize> sizes, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u32> data;
+  for (usize sz : sizes) {
+    std::vector<u32> chunk(sz);
+    for (auto& v : chunk) v = static_cast<u32>(rng() % 100000);
+    std::sort(chunk.begin(), chunk.end());
+    data.insert(data.end(), chunk.begin(), chunk.end());
+  }
+  return {std::move(data), std::move(sizes)};
+}
+
+void check_strategy(MergeStrategy strategy, std::vector<usize> sizes,
+                    u64 seed) {
+  auto [data, counts] = make_chunks(std::move(sizes), seed);
+  std::vector<u32> expected = data;
+  std::sort(expected.begin(), expected.end());
+
+  Team team({.nranks = 1});
+  team.run([&](Comm& c) {
+    merge_chunks(c, data, std::span<const usize>(counts), strategy, identity);
+  });
+  EXPECT_EQ(data, expected);
+}
+
+class MergeStrategyTest : public ::testing::TestWithParam<MergeStrategy> {};
+
+TEST_P(MergeStrategyTest, TwoEqualChunks) {
+  check_strategy(GetParam(), {100, 100}, 1);
+}
+
+TEST_P(MergeStrategyTest, ManySmallChunks) {
+  check_strategy(GetParam(), std::vector<usize>(33, 17), 2);
+}
+
+TEST_P(MergeStrategyTest, SkewedChunkSizes) {
+  check_strategy(GetParam(), {1, 1000, 3, 500, 1}, 3);
+}
+
+TEST_P(MergeStrategyTest, WithEmptyChunks) {
+  check_strategy(GetParam(), {0, 50, 0, 0, 75, 0}, 4);
+}
+
+TEST_P(MergeStrategyTest, SingleChunkNoop) {
+  check_strategy(GetParam(), {250}, 5);
+}
+
+TEST_P(MergeStrategyTest, AllChunksEmpty) {
+  check_strategy(GetParam(), {0, 0, 0}, 6);
+}
+
+TEST_P(MergeStrategyTest, PowerOfTwoAndOddCounts) {
+  check_strategy(GetParam(), {64, 64, 64, 64, 64, 64, 64}, 7);
+  check_strategy(GetParam(), {10, 20, 30}, 8);
+}
+
+TEST_P(MergeStrategyTest, DuplicateHeavy) {
+  Xoshiro256 rng(9);
+  std::vector<u32> data;
+  std::vector<usize> counts;
+  for (int c = 0; c < 6; ++c) {
+    std::vector<u32> chunk(200);
+    for (auto& v : chunk) v = static_cast<u32>(rng() % 5);
+    std::sort(chunk.begin(), chunk.end());
+    data.insert(data.end(), chunk.begin(), chunk.end());
+    counts.push_back(chunk.size());
+  }
+  std::vector<u32> expected = data;
+  std::sort(expected.begin(), expected.end());
+  Team team({.nranks = 1});
+  team.run([&](Comm& c) {
+    merge_chunks(c, data, std::span<const usize>(counts), GetParam(),
+                 identity);
+  });
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, MergeStrategyTest,
+                         ::testing::Values(MergeStrategy::Sort,
+                                           MergeStrategy::BinaryTree,
+                                           MergeStrategy::Tournament),
+                         [](const auto& pinfo) {
+                           return std::string(merge_name(pinfo.param)) ==
+                                          "sort"
+                                      ? "Sort"
+                                  : merge_name(pinfo.param) == "binary-tree"
+                                      ? "BinaryTree"
+                                      : "Tournament";
+                         });
+
+TEST(LoserTreeTest, PopsInGlobalOrder) {
+  std::vector<u32> a{1, 4, 9}, b{2, 3, 10}, c{0, 5};
+  std::vector<std::span<const u32>> runs = {a, b, c};
+  auto less = [](u32 x, u32 y) { return x < y; };
+  LoserTree<u32, decltype(less)> tree(runs, less);
+  std::vector<u32> out;
+  while (!tree.empty()) out.push_back(tree.pop());
+  EXPECT_EQ(out, (std::vector<u32>{0, 1, 2, 3, 4, 5, 9, 10}));
+}
+
+TEST(LoserTreeTest, SingleRun) {
+  std::vector<u32> a{3, 7, 11};
+  std::vector<std::span<const u32>> runs = {a};
+  auto less = [](u32 x, u32 y) { return x < y; };
+  LoserTree<u32, decltype(less)> tree(runs, less);
+  std::vector<u32> out;
+  while (!tree.empty()) out.push_back(tree.pop());
+  EXPECT_EQ(out, a);
+}
+
+TEST(LoserTreeTest, StressAgainstSort) {
+  Xoshiro256 rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const usize k = 1 + rng() % 12;
+    std::vector<std::vector<u64>> chunks(k);
+    std::vector<u64> expected;
+    for (auto& ch : chunks) {
+      const usize n = rng() % 40;
+      for (usize i = 0; i < n; ++i) ch.push_back(rng() % 1000);
+      std::sort(ch.begin(), ch.end());
+      expected.insert(expected.end(), ch.begin(), ch.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::span<const u64>> runs(chunks.begin(), chunks.end());
+    auto less = [](u64 x, u64 y) { return x < y; };
+    LoserTree<u64, decltype(less)> tree(runs, less);
+    std::vector<u64> out;
+    while (!tree.empty()) out.push_back(tree.pop());
+    EXPECT_EQ(out, expected) << "trial " << trial;
+  }
+}
+
+TEST(MergeCosts, TournamentChargedByLogK) {
+  // The simulated charge for a tournament merge grows with the chunk count,
+  // while a re-sort is charged by n log n regardless of k.
+  Team team({.nranks = 1});
+  double t_few = 0.0, t_many = 0.0;
+  team.run([&](Comm& c) {
+    auto [d1, c1] = make_chunks(std::vector<usize>(2, 4096), 1);
+    const double t0 = c.clock().now();
+    merge_chunks(c, d1, std::span<const usize>(c1),
+                 MergeStrategy::Tournament, identity);
+    t_few = c.clock().now() - t0;
+    auto [d2, c2] = make_chunks(std::vector<usize>(64, 128), 2);
+    const double t1 = c.clock().now();
+    merge_chunks(c, d2, std::span<const usize>(c2),
+                 MergeStrategy::Tournament, identity);
+    t_many = c.clock().now() - t1;
+  });
+  EXPECT_GT(t_many, t_few);  // same n, more chunks -> deeper tournament
+}
+
+}  // namespace
+}  // namespace hds::core

@@ -1,0 +1,376 @@
+// Tests for the histogramming multiselect (Alg. 2+3) and the data exchange
+// (Alg. 4): splitter conditions of Def. 4, iteration bounds of Sec. V-A,
+// permutation-matrix invariants, and tie refinement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/exchange.h"
+#include "core/multiselect.h"
+#include "runtime/team.h"
+#include "workload/distributions.h"
+
+namespace hds::core {
+namespace {
+
+using runtime::Comm;
+using runtime::Team;
+
+[[maybe_unused]] auto identity = [](const auto& v) { return v; };
+
+/// Sorted shards for P ranks drawn from a workload distribution.
+std::vector<std::vector<u64>> make_shards(int P, usize n_per_rank,
+                                          workload::GenConfig cfg) {
+  std::vector<std::vector<u64>> shards(P);
+  for (int r = 0; r < P; ++r) {
+    shards[r] = workload::generate_u64(cfg, r, P, n_per_rank);
+    std::sort(shards[r].begin(), shards[r].end());
+  }
+  return shards;
+}
+
+/// Oracle check: for every boundary b, the resolved global boundary count
+/// equals the target (eps == 0) and the splitter brackets it: the number of
+/// keys strictly below the splitter is <= boundary <= number of keys <= it.
+void check_splitters(int P, const std::vector<std::vector<u64>>& shards,
+                     std::vector<usize> targets, MultiselectConfig cfg = {},
+                     usize* iterations_out = nullptr) {
+  std::vector<u64> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  const usize N = all.size();
+  const double w = cfg.epsilon * static_cast<double>(N) / (2.0 * P);
+
+  Team team({.nranks = P});
+  SplitterResult<u64> result;
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    auto res = find_splitters(c, std::span<const u64>(local), identity,
+                              std::span<const usize>(targets), cfg);
+    if (c.rank() == 0) result = res;
+    // Per-rank postconditions: local bounds consistent with the local shard.
+    for (usize b = 0; b < targets.size(); ++b) {
+      EXPECT_LE(res.local_lb[b], res.local_ub[b]);
+      EXPECT_LE(res.local_ub[b], local.size());
+    }
+  });
+
+  if (iterations_out) *iterations_out = result.iterations;
+  ASSERT_EQ(result.boundary.size(), targets.size());
+  for (usize b = 0; b < targets.size(); ++b) {
+    const usize B = result.boundary[b];
+    if (cfg.epsilon == 0.0) {
+      EXPECT_EQ(B, targets[b]) << "boundary " << b;
+    } else {
+      EXPECT_LE(std::abs(static_cast<double>(B) -
+                         static_cast<double>(targets[b])),
+                w + 1e-9)
+          << "boundary " << b;
+    }
+    if (targets[b] == 0 || targets[b] == N) continue;
+    // Splitter key brackets the boundary in the sorted oracle.
+    const u64 s = result.splitter[b];
+    const usize below =
+        std::lower_bound(all.begin(), all.end(), s) - all.begin();
+    const usize below_eq =
+        std::upper_bound(all.begin(), all.end(), s) - all.begin();
+    EXPECT_LE(below, B);
+    EXPECT_LE(B, below_eq);
+    EXPECT_EQ(result.global_lb[b], below);
+    EXPECT_EQ(result.global_ub[b], below_eq);
+  }
+}
+
+std::vector<usize> even_targets(int P, usize n_per_rank) {
+  std::vector<usize> t(P - 1);
+  for (int b = 0; b < P - 1; ++b) t[b] = (b + 1) * n_per_rank;
+  return t;
+}
+
+TEST(Multiselect, UniformKeysPerfectPartition) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Uniform;
+  const auto shards = make_shards(8, 1000, cfg);
+  check_splitters(8, shards, even_targets(8, 1000));
+}
+
+TEST(Multiselect, NormalKeys) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Normal;
+  const auto shards = make_shards(6, 800, cfg);
+  check_splitters(6, shards, even_targets(6, 800));
+}
+
+TEST(Multiselect, StaircaseAdversarial) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Staircase;
+  const auto shards = make_shards(7, 500, cfg);
+  check_splitters(7, shards, even_targets(7, 500));
+}
+
+TEST(Multiselect, AllEqualKeysResolveViaTies) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::AllEqual;
+  const auto shards = make_shards(5, 400, cfg);
+  usize iters = 0;
+  check_splitters(5, shards, even_targets(5, 400), {}, &iters);
+  // Equal keys cannot be separated by key bisection; ties resolve through
+  // counts in very few rounds.
+  EXPECT_LE(iters, 3u);
+}
+
+TEST(Multiselect, FewDistinctKeys) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::FewDistinct;
+  cfg.alphabet = 4;
+  const auto shards = make_shards(9, 300, cfg);
+  check_splitters(9, shards, even_targets(9, 300));
+}
+
+TEST(Multiselect, SparseEmptyRanks) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Uniform;
+  std::vector<std::vector<u64>> shards = make_shards(6, 500, cfg);
+  shards[1].clear();
+  shards[4].clear();
+  // Targets follow the capacities (prefix sums of shard sizes).
+  std::vector<usize> targets;
+  usize acc = 0;
+  for (int r = 0; r + 1 < 6; ++r) {
+    acc += shards[r].size();
+    targets.push_back(acc);
+  }
+  check_splitters(6, shards, targets);
+}
+
+TEST(Multiselect, ArbitraryTargetsQuantiles) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Exponential;
+  const auto shards = make_shards(4, 1000, cfg);
+  check_splitters(4, shards, {1, 100, 2000, 3999});
+}
+
+TEST(Multiselect, TargetsAtZeroAndN) {
+  workload::GenConfig cfg;
+  const auto shards = make_shards(4, 250, cfg);
+  check_splitters(4, shards, {0, 500, 1000});
+  check_splitters(4, shards, {250, 500, 750});
+}
+
+TEST(Multiselect, EpsilonRelaxationWithinWindow) {
+  workload::GenConfig cfg;
+  const auto shards = make_shards(8, 2000, cfg);
+  MultiselectConfig mcfg;
+  mcfg.epsilon = 0.1;
+  usize it_eps = 0, it_exact = 0;
+  check_splitters(8, shards, even_targets(8, 2000), mcfg, &it_eps);
+  check_splitters(8, shards, even_targets(8, 2000), {}, &it_exact);
+  EXPECT_LE(it_eps, it_exact);
+}
+
+TEST(Multiselect, IterationCountBoundedByKeyWidth) {
+  // Sec. V-A: iterations are bounded by the key width and independent of P.
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Uniform;
+  cfg.hi = 1'000'000'000;  // ~2^30 distinct values -> ~30 iterations
+  for (int P : {4, 16}) {
+    const auto shards = make_shards(P, 512, cfg);
+    usize iters = 0;
+    check_splitters(P, shards, even_targets(P, 512), {}, &iters);
+    EXPECT_GE(iters, 15u) << "P=" << P;
+    EXPECT_LE(iters, 34u) << "P=" << P;
+  }
+}
+
+TEST(Multiselect, NarrowKeyRangeConvergesFaster) {
+  workload::GenConfig narrow, wide;
+  narrow.hi = 255;  // 8-bit effective keys
+  wide.hi = ~u64{0} >> 1;
+  usize it_narrow = 0, it_wide = 0;
+  check_splitters(4, make_shards(4, 800, narrow), even_targets(4, 800), {},
+                  &it_narrow);
+  check_splitters(4, make_shards(4, 800, wide), even_targets(4, 800), {},
+                  &it_wide);
+  EXPECT_LT(it_narrow, it_wide);
+  EXPECT_LE(it_narrow, 10u);
+}
+
+TEST(Multiselect, SampledInitConvergesAndIsNoWorse) {
+  workload::GenConfig cfg;
+  const auto shards = make_shards(8, 1500, cfg);
+  MultiselectConfig sampled;
+  sampled.init = SplitterInit::Sampled;
+  sampled.sample_per_rank = 32;
+  usize it_sampled = 0, it_minmax = 0;
+  check_splitters(8, shards, even_targets(8, 1500), sampled, &it_sampled);
+  check_splitters(8, shards, even_targets(8, 1500), {}, &it_minmax);
+  EXPECT_LT(it_sampled, it_minmax);
+}
+
+TEST(Multiselect, SampledInitSurvivesAdversarialSample) {
+  // Staircase input: per-rank samples are clustered, so quantile brackets
+  // are wrong for most boundaries; the fallback must still converge.
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Staircase;
+  const auto shards = make_shards(6, 700, cfg);
+  MultiselectConfig sampled;
+  sampled.init = SplitterInit::Sampled;
+  sampled.sample_per_rank = 4;
+  check_splitters(6, shards, even_targets(6, 700), sampled);
+}
+
+TEST(Multiselect, SignedAndFloatKeys) {
+  // Direct call with doubles including negatives.
+  const int P = 4;
+  std::vector<std::vector<double>> shards(P);
+  Xoshiro256 rng(5);
+  std::vector<double> all;
+  for (auto& s : shards) {
+    for (int i = 0; i < 500; ++i) s.push_back(rng.normal() * 1e6);
+    std::sort(s.begin(), s.end());
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<usize> targets = {500, 1000, 1500};
+  Team team({.nranks = P});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    auto res = find_splitters(c, std::span<const double>(local), identity,
+                              std::span<const usize>(targets));
+    for (usize b = 0; b < 3; ++b) EXPECT_EQ(res.boundary[b], targets[b]);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Exchange (Alg. 4).
+// ---------------------------------------------------------------------------
+
+/// Full splitting + exchange; verifies the permutation invariants.
+void check_exchange(int P, std::vector<std::vector<u64>> shards,
+                    double epsilon = 0.0) {
+  for (auto& s : shards) std::sort(s.begin(), s.end());
+  std::vector<usize> capacities;
+  std::vector<usize> targets;
+  usize acc = 0;
+  for (int r = 0; r < P; ++r) capacities.push_back(shards[r].size());
+  for (int r = 0; r + 1 < P; ++r) {
+    acc += capacities[r];
+    targets.push_back(acc);
+  }
+  std::vector<u64> all;
+  for (const auto& s : shards) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  const usize N = all.size();
+
+  std::vector<std::vector<u64>> out(P);
+  Team team({.nranks = P});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    MultiselectConfig mcfg;
+    mcfg.epsilon = epsilon;
+    const auto sp = find_splitters(c, std::span<const u64>(local), identity,
+                                   std::span<const usize>(targets), mcfg);
+    auto ex = exchange(c, std::span<const u64>(local), sp);
+    // Received chunk structure is consistent.
+    usize sum = 0;
+    for (usize cnt : ex.recv_counts) sum += cnt;
+    EXPECT_EQ(sum, ex.data.size());
+    std::sort(ex.data.begin(), ex.data.end());
+    out[c.rank()] = std::move(ex.data);
+  });
+
+  // Global content is a permutation of the input.
+  std::vector<u64> merged;
+  for (const auto& o : out) merged.insert(merged.end(), o.begin(), o.end());
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, all);
+
+  // Partition boundaries respect global order.
+  for (int r = 0; r + 1 < P; ++r) {
+    if (out[r].empty() || out[r + 1].empty()) continue;
+    EXPECT_LE(out[r].back(), out[r + 1].front());
+  }
+
+  if (epsilon == 0.0) {
+    // Perfect partitioning: output sizes equal input capacities.
+    for (int r = 0; r < P; ++r)
+      EXPECT_EQ(out[r].size(), capacities[r]) << "rank " << r;
+  } else {
+    const double cap = static_cast<double>(N) / P * (1.0 + epsilon);
+    for (int r = 0; r < P; ++r)
+      EXPECT_LE(static_cast<double>(out[r].size()), cap + 1e-9);
+  }
+}
+
+TEST(Exchange, UniformPerfectPartition) {
+  workload::GenConfig cfg;
+  check_exchange(6, make_shards(6, 700, cfg));
+}
+
+TEST(Exchange, AllEqualTiesSplitByCounts) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::AllEqual;
+  check_exchange(5, make_shards(5, 300, cfg));
+}
+
+TEST(Exchange, ZipfHeavyDuplicates) {
+  workload::GenConfig cfg;
+  cfg.dist = workload::Dist::Zipf;
+  check_exchange(8, make_shards(8, 600, cfg));
+}
+
+TEST(Exchange, UnevenCapacities) {
+  Xoshiro256 rng(17);
+  std::vector<std::vector<u64>> shards(5);
+  for (int r = 0; r < 5; ++r)
+    for (int i = 0; i < 100 * (r + 1); ++i) shards[r].push_back(rng());
+  check_exchange(5, shards);
+}
+
+TEST(Exchange, SparseEmptyShards) {
+  Xoshiro256 rng(19);
+  std::vector<std::vector<u64>> shards(6);
+  for (int r : {0, 3, 5})
+    for (int i = 0; i < 400; ++i) shards[r].push_back(rng() % 1000);
+  check_exchange(6, shards);
+}
+
+TEST(Exchange, EpsilonBalanced) {
+  workload::GenConfig cfg;
+  check_exchange(8, make_shards(8, 1000, cfg), 0.05);
+}
+
+TEST(Exchange, SendCountsSumToLocalSize) {
+  workload::GenConfig cfg;
+  const int P = 4;
+  auto shards = make_shards(P, 512, cfg);
+  std::vector<usize> targets = even_targets(P, 512);
+  Team team({.nranks = P});
+  team.run([&](Comm& c) {
+    const auto& local = shards[c.rank()];
+    const auto sp = find_splitters(c, std::span<const u64>(local), identity,
+                                   std::span<const usize>(targets));
+    const auto send = compute_send_counts(c, local.size(), sp);
+    usize total = 0;
+    for (usize s : send) total += s;
+    EXPECT_EQ(total, local.size());
+  });
+}
+
+TEST(Exchange, NLessThanP) {
+  // Fewer elements than ranks: most partitions end up empty.
+  std::vector<std::vector<u64>> shards(8);
+  shards[2] = {42, 7};
+  shards[6] = {99};
+  check_exchange(8, shards);
+}
+
+TEST(Exchange, EmptyGlobalInput) {
+  std::vector<std::vector<u64>> shards(4);
+  check_exchange(4, shards);
+}
+
+}  // namespace
+}  // namespace hds::core

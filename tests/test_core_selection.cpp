@@ -1,0 +1,242 @@
+// Tests for key traits, weighted median, and distributed selection (Alg. 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/histogram_sort.h"
+#include "core/key_traits.h"
+#include "core/selection.h"
+#include "runtime/team.h"
+#include "workload/distributions.h"
+
+namespace hds::core {
+namespace {
+
+using runtime::Comm;
+using runtime::Team;
+using runtime::TeamConfig;
+
+// ---------------------------------------------------------------------------
+// KeyTraits: the bijection must be monotone and invertible for every type.
+// ---------------------------------------------------------------------------
+
+template <class T>
+void check_roundtrip_and_order(const std::vector<T>& values) {
+  using Tr = KeyTraits<T>;
+  for (const T v : values) {
+    EXPECT_EQ(Tr::from_uint(Tr::to_uint(v)), v);
+  }
+  for (usize i = 0; i < values.size(); ++i)
+    for (usize j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(values[i] < values[j],
+                Tr::to_uint(values[i]) < Tr::to_uint(values[j]))
+          << "order broken between " << values[i] << " and " << values[j];
+    }
+}
+
+TEST(KeyTraitsTest, UnsignedIsIdentity) {
+  EXPECT_EQ(KeyTraits<u64>::to_uint(42u), 42u);
+  EXPECT_EQ(KeyTraits<u32>::to_uint(7u), 7u);
+  check_roundtrip_and_order<u64>({0, 1, 5, ~u64{0}, 1ULL << 63});
+}
+
+TEST(KeyTraitsTest, SignedOrderPreserved) {
+  check_roundtrip_and_order<i64>({std::numeric_limits<i64>::min(), -5, -1, 0,
+                                  1, 5, std::numeric_limits<i64>::max()});
+  check_roundtrip_and_order<i32>({-100, -1, 0, 1, 100});
+}
+
+TEST(KeyTraitsTest, FloatOrderPreserved) {
+  check_roundtrip_and_order<double>(
+      {-std::numeric_limits<double>::infinity(), -1e300, -2.5, -1e-300, -0.0,
+       1e-300, 1.0, 2.5, 1e300, std::numeric_limits<double>::infinity()});
+  check_roundtrip_and_order<float>({-1e30f, -1.0f, 0.0f, 1.0f, 1e30f});
+}
+
+TEST(KeyTraitsTest, FloatMidpointStaysFinite) {
+  using Tr = KeyTraits<double>;
+  const auto lo = Tr::to_uint(-1e6);
+  const auto hi = Tr::to_uint(1e6);
+  const double mid = Tr::from_uint(key_midpoint(lo, hi));
+  EXPECT_FALSE(std::isnan(mid));
+  EXPECT_GE(mid, -1e6);
+  EXPECT_LE(mid, 1e6);
+}
+
+TEST(KeyTraitsTest, MidpointNeverReturnsHi) {
+  for (u64 lo = 0; lo < 5; ++lo)
+    for (u64 hi = lo + 1; hi < 8; ++hi) EXPECT_LT(key_midpoint(lo, hi), hi);
+  EXPECT_EQ(key_midpoint<u64>(3, 3), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted median (Def. 2).
+// ---------------------------------------------------------------------------
+
+TEST(WeightedMedian, UniformWeightsGiveMedian) {
+  std::vector<std::pair<double, double>> s = {
+      {5, 0.2}, {1, 0.2}, {3, 0.2}, {2, 0.2}, {4, 0.2}};
+  EXPECT_DOUBLE_EQ(weighted_median(std::move(s)), 3.0);
+}
+
+TEST(WeightedMedian, HeavyElementWins) {
+  std::vector<std::pair<double, double>> s = {
+      {1, 0.1}, {2, 0.1}, {9, 0.8}};
+  EXPECT_DOUBLE_EQ(weighted_median(std::move(s)), 9.0);
+}
+
+TEST(WeightedMedian, IgnoresZeroWeights) {
+  std::vector<std::pair<double, double>> s = {
+      {100, 0.0}, {1, 0.5}, {200, 0.0}, {2, 0.5}};
+  const double m = weighted_median(std::move(s));
+  EXPECT_TRUE(m == 1.0 || m == 2.0);
+}
+
+TEST(WeightedMedian, SatisfiesDefinitionOnRandomInputs) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const usize n = 1 + rng() % 20;
+    std::vector<std::pair<double, double>> s;
+    double total = 0.0;
+    for (usize i = 0; i < n; ++i) {
+      const double w = rng.uniform01() + 0.01;
+      s.emplace_back(std::floor(rng.uniform01() * 10), w);
+      total += w;
+    }
+    auto copy = s;
+    const double m = weighted_median(std::move(copy));
+    double below = 0.0, above = 0.0;
+    for (const auto& [x, w] : s) {
+      if (x < m) below += w;
+      if (x > m) above += w;
+    }
+    EXPECT_LT(below, total / 2.0 + 1e-12);
+    EXPECT_LE(above, total / 2.0 + 1e-12);
+  }
+}
+
+TEST(WeightedMedian, ThrowsOnAllZeroWeights) {
+  std::vector<std::pair<double, double>> s = {{1, 0.0}, {2, 0.0}};
+  EXPECT_THROW(weighted_median(std::move(s)), invariant_error);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed selection (dselect / nth_element).
+// ---------------------------------------------------------------------------
+
+/// Run dselect on a distributed copy of `shards` and compare against the
+/// sequential oracle for rank k.
+template <class T>
+void check_dselect(int P, std::vector<std::vector<T>> shards, usize k,
+                   usize gather_threshold = 64) {
+  std::vector<T> all;
+  for (const auto& s : shards)
+    all.insert(all.end(), s.begin(), s.end());
+  ASSERT_LT(k, all.size());
+  std::vector<T> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  const T expected = sorted[k];
+
+  Team team({.nranks = P});
+  T got{};
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    const T v = dselect(c, std::span<T>(local), k, nullptr, gather_threshold);
+    if (c.rank() == 0) got = v;
+  });
+  EXPECT_EQ(got, expected) << "k=" << k << " P=" << P;
+}
+
+TEST(DSelect, SmallExactValues) {
+  check_dselect<u64>(2, {{5, 1, 9}, {3, 7}}, 0);
+  check_dselect<u64>(2, {{5, 1, 9}, {3, 7}}, 2);
+  check_dselect<u64>(2, {{5, 1, 9}, {3, 7}}, 4);
+}
+
+TEST(DSelect, MedianAcrossManyRanks) {
+  Xoshiro256 rng(21);
+  std::vector<std::vector<u64>> shards(8);
+  for (auto& s : shards)
+    for (int i = 0; i < 500; ++i) s.push_back(rng() % 10000);
+  check_dselect<u64>(8, shards, 2000, /*gather_threshold=*/128);
+}
+
+TEST(DSelect, AllRanksOfTinySet) {
+  std::vector<std::vector<int>> shards = {{4, 2}, {8}, {1, 6, 3}};
+  for (usize k = 0; k < 6; ++k) check_dselect<int>(3, shards, k, 2);
+}
+
+TEST(DSelect, WithEmptyPartitions) {
+  std::vector<std::vector<u64>> shards = {{}, {10, 20, 30}, {}, {5, 25}};
+  for (usize k = 0; k < 5; ++k) check_dselect<u64>(4, shards, k, 2);
+}
+
+TEST(DSelect, ManyDuplicates) {
+  std::vector<std::vector<u64>> shards(4);
+  for (auto& s : shards) s.assign(100, 7);
+  shards[0][0] = 1;
+  shards[3][99] = 9;
+  check_dselect<u64>(4, shards, 0, 16);
+  check_dselect<u64>(4, shards, 200, 16);
+  check_dselect<u64>(4, shards, 399, 16);
+}
+
+TEST(DSelect, NegativeAndFloatKeys) {
+  std::vector<std::vector<double>> shards = {
+      {-5.5, 2.25, 0.0}, {-100.0, 3.5}, {1.5, -0.25}};
+  for (usize k = 0; k < 7; ++k) check_dselect<double>(3, shards, k, 2);
+}
+
+TEST(DSelect, OutOfRangeKThrows) {
+  Team team({.nranks = 2});
+  EXPECT_THROW(team.run([&](Comm& c) {
+                 std::vector<u64> local{1, 2};
+                 dselect(c, std::span<u64>(local), 100);
+               }),
+               invariant_error);
+}
+
+TEST(DSelect, StatsReportIterations) {
+  Xoshiro256 rng(31);
+  std::vector<std::vector<u64>> shards(4);
+  for (auto& s : shards)
+    for (int i = 0; i < 4000; ++i) s.push_back(rng());
+  Team team({.nranks = 4});
+  SelectStats st;
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    SelectStats mine;
+    (void)dselect(c, std::span<u64>(local), 8000, &mine, 256);
+    if (c.rank() == 0) st = mine;
+  });
+  EXPECT_GT(st.iterations, 0u);
+  // Weighted median discards >= 1/4 per round: bounded by log_{4/3}(N).
+  EXPECT_LE(st.iterations, 40u);
+}
+
+TEST(NthElement, MatchesOracleViaPublicApi) {
+  Xoshiro256 rng(41);
+  std::vector<std::vector<i64>> shards(5);
+  std::vector<i64> all;
+  for (auto& s : shards)
+    for (int i = 0; i < 200; ++i) {
+      s.push_back(static_cast<i64>(rng() % 1000) - 500);
+      all.push_back(s.back());
+    }
+  std::sort(all.begin(), all.end());
+  Team team({.nranks = 5});
+  for (usize k : {usize{0}, usize{499}, usize{999}}) {
+    i64 got = 0;
+    team.run([&](Comm& c) {
+      auto local = shards[c.rank()];
+      const i64 v = nth_element(c, std::span<i64>(local), k);
+      if (c.rank() == 0) got = v;
+    });
+    EXPECT_EQ(got, all[k]) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace hds::core

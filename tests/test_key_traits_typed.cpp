@@ -1,0 +1,129 @@
+// Typed property sweep for KeyTraits: the bijection and ordering laws must
+// hold for every supported key type, including extreme values and random
+// samples — these laws are what the whole histogramming approach rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/key_traits.h"
+
+namespace hds::core {
+namespace {
+
+template <class T>
+T random_value(Xoshiro256& rng) {
+  if constexpr (std::is_floating_point_v<T>) {
+    // Mix magnitudes and signs, avoid NaN.
+    const double mag = std::pow(10.0, rng.uniform01() * 60.0 - 30.0);
+    return static_cast<T>((rng.uniform01() - 0.5) * 2.0 * mag);
+  } else {
+    return static_cast<T>(rng());
+  }
+}
+
+template <class T>
+std::vector<T> extreme_values() {
+  std::vector<T> v = {T{0}, std::numeric_limits<T>::max(),
+                      std::numeric_limits<T>::lowest(), T{1}};
+  if constexpr (std::is_signed_v<T>) v.push_back(T{-1});
+  if constexpr (std::is_floating_point_v<T>) {
+    v.push_back(std::numeric_limits<T>::infinity());
+    v.push_back(-std::numeric_limits<T>::infinity());
+    v.push_back(std::numeric_limits<T>::denorm_min());
+    v.push_back(-std::numeric_limits<T>::denorm_min());
+    v.push_back(static_cast<T>(-0.0));
+  }
+  return v;
+}
+
+template <class T>
+class KeyTraitsTyped : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<u8, u16, u32, u64, i8, i16, i32, i64,
+                                  float, double>;
+TYPED_TEST_SUITE(KeyTraitsTyped, KeyTypes);
+
+TYPED_TEST(KeyTraitsTyped, RoundTripExtremes) {
+  using T = TypeParam;
+  using Tr = KeyTraits<T>;
+  for (T v : extreme_values<T>()) {
+    const T back = Tr::from_uint(Tr::to_uint(v));
+    if constexpr (std::is_floating_point_v<T>) {
+      // -0.0 round-trips bit-exactly.
+      EXPECT_EQ(std::bit_cast<typename Tr::uint_type>(back),
+                std::bit_cast<typename Tr::uint_type>(v));
+    } else {
+      EXPECT_EQ(back, v);
+    }
+  }
+}
+
+TYPED_TEST(KeyTraitsTyped, RoundTripRandom) {
+  using T = TypeParam;
+  using Tr = KeyTraits<T>;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const T v = random_value<T>(rng);
+    EXPECT_EQ(Tr::from_uint(Tr::to_uint(v)), v);
+  }
+}
+
+TYPED_TEST(KeyTraitsTyped, OrderPreservedRandomPairs) {
+  using T = TypeParam;
+  using Tr = KeyTraits<T>;
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 2000; ++i) {
+    const T a = random_value<T>(rng);
+    const T b = random_value<T>(rng);
+    EXPECT_EQ(a < b, Tr::to_uint(a) < Tr::to_uint(b))
+        << "a=" << +a << " b=" << +b;
+  }
+}
+
+TYPED_TEST(KeyTraitsTyped, SortingUintsSortsValues) {
+  using T = TypeParam;
+  using Tr = KeyTraits<T>;
+  Xoshiro256 rng(41);
+  std::vector<T> values;
+  for (int i = 0; i < 500; ++i) values.push_back(random_value<T>(rng));
+  std::vector<typename Tr::uint_type> uints;
+  for (T v : values) uints.push_back(Tr::to_uint(v));
+  std::sort(values.begin(), values.end());
+  std::sort(uints.begin(), uints.end());
+  for (usize i = 0; i < values.size(); ++i)
+    EXPECT_EQ(Tr::from_uint(uints[i]), values[i]) << "index " << i;
+}
+
+TYPED_TEST(KeyTraitsTyped, MidpointLiesWithinAndBisects) {
+  using T = TypeParam;
+  using Tr = KeyTraits<T>;
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 500; ++i) {
+    T a = random_value<T>(rng);
+    T b = random_value<T>(rng);
+    if (b < a) std::swap(a, b);
+    const auto ua = Tr::to_uint(a);
+    const auto ub = Tr::to_uint(b);
+    const auto mid = key_midpoint(ua, ub);
+    EXPECT_GE(mid, ua);
+    EXPECT_LE(mid, ub);
+    if (ua != ub) EXPECT_LT(mid, ub);  // bisection always makes progress
+    const T mv = Tr::from_uint(mid);
+    EXPECT_FALSE(mv < a);
+    EXPECT_FALSE(b < mv);
+    if constexpr (std::is_floating_point_v<T>) {
+      EXPECT_FALSE(std::isnan(static_cast<double>(mv)));
+    }
+  }
+}
+
+TYPED_TEST(KeyTraitsTyped, KeyBitsMatchTypeWidth) {
+  using T = TypeParam;
+  using Tr = KeyTraits<T>;
+  EXPECT_EQ(static_cast<usize>(Tr::key_bits), sizeof(T) * 8);
+}
+
+}  // namespace
+}  // namespace hds::core

@@ -1,0 +1,158 @@
+// Tests for the workload generators: determinism, range/statistical sanity,
+// sparsity behaviour, and the adversarial structure of the special
+// distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "workload/distributions.h"
+
+namespace hds::workload {
+namespace {
+
+TEST(Workload, DeterministicPerRankAndSeed) {
+  GenConfig cfg;
+  cfg.seed = 123;
+  const auto a = generate_u64(cfg, 3, 8, 1000);
+  const auto b = generate_u64(cfg, 3, 8, 1000);
+  EXPECT_EQ(a, b);
+  cfg.seed = 124;
+  EXPECT_NE(generate_u64(cfg, 3, 8, 1000), a);
+}
+
+TEST(Workload, RanksProduceDifferentStreams) {
+  GenConfig cfg;
+  EXPECT_NE(generate_u64(cfg, 0, 4, 500), generate_u64(cfg, 1, 4, 500));
+}
+
+TEST(Workload, UniformStaysInRange) {
+  GenConfig cfg;
+  cfg.lo = 100;
+  cfg.hi = 200;
+  for (u64 v : generate_u64(cfg, 0, 2, 5000)) {
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 200u);
+  }
+}
+
+TEST(Workload, UniformCoversRange) {
+  GenConfig cfg;
+  cfg.lo = 0;
+  cfg.hi = 9;
+  std::set<u64> seen;
+  for (u64 v : generate_u64(cfg, 0, 1, 2000)) seen.insert(v);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Workload, NormalDoublesHaveConfiguredMoments) {
+  GenConfig cfg;
+  cfg.dist = Dist::Normal;
+  cfg.mean = 5.0;
+  cfg.stddev = 2.0;
+  const auto v = generate_f64(cfg, 0, 1, 100000);
+  double sum = 0;
+  for (double x : v) sum += x;
+  const double mean = sum / v.size();
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  double var = 0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  EXPECT_NEAR(std::sqrt(var / v.size()), 2.0, 0.05);
+}
+
+TEST(Workload, AllEqualIsAllEqual) {
+  GenConfig cfg;
+  cfg.dist = Dist::AllEqual;
+  const auto v = generate_u64(cfg, 2, 4, 1000);
+  for (u64 x : v) EXPECT_EQ(x, v.front());
+}
+
+TEST(Workload, FewDistinctRespectsAlphabet) {
+  GenConfig cfg;
+  cfg.dist = Dist::FewDistinct;
+  cfg.alphabet = 5;
+  std::set<u64> seen;
+  for (u64 v : generate_u64(cfg, 0, 1, 10000)) seen.insert(v);
+  EXPECT_LE(seen.size(), 5u);
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(Workload, ZipfIsHeavilySkewed) {
+  GenConfig cfg;
+  cfg.dist = Dist::Zipf;
+  const auto v = generate_u64(cfg, 0, 1, 20000);
+  usize ones = 0;
+  for (u64 x : v)
+    if (x == 1) ++ones;
+  // Rank-1 element carries a large share under zipf_s = 1.2.
+  EXPECT_GT(ones, v.size() / 20);
+}
+
+TEST(Workload, NearlySortedIsMostlyOrderedAcrossRanks) {
+  GenConfig cfg;
+  cfg.dist = Dist::NearlySorted;
+  const auto lo = generate_u64(cfg, 0, 4, 2000);
+  const auto hi = generate_u64(cfg, 3, 4, 2000);
+  // Rank 0's median is far below rank 3's median.
+  auto med = [](std::vector<u64> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_LT(med(lo), med(hi));
+}
+
+TEST(Workload, ReverseSortedDescendsAcrossRanks) {
+  GenConfig cfg;
+  cfg.dist = Dist::ReverseSorted;
+  const auto first = generate_u64(cfg, 0, 4, 1000);
+  const auto last = generate_u64(cfg, 3, 4, 1000);
+  EXPECT_GT(first.front(), last.back());
+}
+
+TEST(Workload, StaircaseIsRankReversedSlices) {
+  GenConfig cfg;
+  cfg.dist = Dist::Staircase;
+  cfg.lo = 0;
+  cfg.hi = 1000;
+  const auto r0 = generate_u64(cfg, 0, 4, 1000);
+  const auto r3 = generate_u64(cfg, 3, 4, 1000);
+  // Rank 0 holds the TOP slice, rank 3 the BOTTOM slice.
+  EXPECT_GT(*std::min_element(r0.begin(), r0.end()), 700u);
+  EXPECT_LT(*std::max_element(r3.begin(), r3.end()), 300u);
+}
+
+TEST(Workload, SparsityEmptiesSomeRanksDeterministically) {
+  GenConfig cfg;
+  cfg.sparsity = 0.5;
+  cfg.seed = 31;
+  usize empty = 0;
+  for (int r = 0; r < 64; ++r) {
+    const usize n = rank_count(cfg, r, 100);
+    EXPECT_TRUE(n == 0 || n == 100);
+    if (n == 0) ++empty;
+    EXPECT_EQ(rank_count(cfg, r, 100), n);  // deterministic
+  }
+  EXPECT_GT(empty, 16u);
+  EXPECT_LT(empty, 48u);
+}
+
+TEST(Workload, SparsityZeroKeepsEveryone) {
+  GenConfig cfg;
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(rank_count(cfg, r, 42), 42u);
+}
+
+TEST(Workload, DistNamesRoundTrip) {
+  for (Dist d : all_dists()) EXPECT_EQ(dist_from_name(dist_name(d)), d);
+  EXPECT_THROW(dist_from_name("nope"), argument_error);
+}
+
+TEST(Workload, U32RangeClamped) {
+  GenConfig cfg;
+  cfg.hi = ~u64{0};
+  for (u32 v : generate_u32(cfg, 0, 1, 1000))
+    EXPECT_LE(v, 0xffffffffu);  // trivially true, but exercises the clamp
+}
+
+}  // namespace
+}  // namespace hds::workload
