@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_study.dir/bench_merge_study.cpp.o"
+  "CMakeFiles/bench_merge_study.dir/bench_merge_study.cpp.o.d"
+  "bench_merge_study"
+  "bench_merge_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_topk.dir/distributed_topk.cpp.o"
+  "CMakeFiles/distributed_topk.dir/distributed_topk.cpp.o.d"
+  "distributed_topk"
+  "distributed_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

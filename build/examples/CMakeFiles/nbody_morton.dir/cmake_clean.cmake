@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_morton.dir/nbody_morton.cpp.o"
+  "CMakeFiles/nbody_morton.dir/nbody_morton.cpp.o.d"
+  "nbody_morton"
+  "nbody_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sparse_matrix_balance.cpp" "examples/CMakeFiles/sparse_matrix_balance.dir/sparse_matrix_balance.cpp.o" "gcc" "examples/CMakeFiles/sparse_matrix_balance.dir/sparse_matrix_balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hds_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

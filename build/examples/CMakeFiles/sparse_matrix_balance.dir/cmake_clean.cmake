@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_matrix_balance.dir/sparse_matrix_balance.cpp.o"
+  "CMakeFiles/sparse_matrix_balance.dir/sparse_matrix_balance.cpp.o.d"
+  "sparse_matrix_balance"
+  "sparse_matrix_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_matrix_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

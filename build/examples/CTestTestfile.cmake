@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--ranks=4" "--keys-per-rank=5000")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_nbody_morton]=] "/root/repo/build/examples/nbody_morton" "--ranks=4" "--particles-per-rank=5000")
+set_tests_properties([=[example_nbody_morton]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sparse_matrix_balance]=] "/root/repo/build/examples/sparse_matrix_balance" "--ranks=6" "--nnz-per-io-rank=8000")
+set_tests_properties([=[example_sparse_matrix_balance]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_distributed_topk]=] "/root/repo/build/examples/distributed_topk" "--ranks=4" "--samples-per-rank=20000")
+set_tests_properties([=[example_distributed_topk]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

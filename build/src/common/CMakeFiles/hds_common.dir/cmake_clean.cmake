@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_common.dir/stats.cpp.o"
+  "CMakeFiles/hds_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hds_common.dir/table.cpp.o"
+  "CMakeFiles/hds_common.dir/table.cpp.o.d"
+  "libhds_common.a"
+  "libhds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/calibrate.cpp" "src/net/CMakeFiles/hds_net.dir/calibrate.cpp.o" "gcc" "src/net/CMakeFiles/hds_net.dir/calibrate.cpp.o.d"
+  "/root/repo/src/net/cost_model.cpp" "src/net/CMakeFiles/hds_net.dir/cost_model.cpp.o" "gcc" "src/net/CMakeFiles/hds_net.dir/cost_model.cpp.o.d"
+  "/root/repo/src/net/machine.cpp" "src/net/CMakeFiles/hds_net.dir/machine.cpp.o" "gcc" "src/net/CMakeFiles/hds_net.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

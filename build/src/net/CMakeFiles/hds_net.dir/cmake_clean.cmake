@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_net.dir/calibrate.cpp.o"
+  "CMakeFiles/hds_net.dir/calibrate.cpp.o.d"
+  "CMakeFiles/hds_net.dir/cost_model.cpp.o"
+  "CMakeFiles/hds_net.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hds_net.dir/machine.cpp.o"
+  "CMakeFiles/hds_net.dir/machine.cpp.o.d"
+  "libhds_net.a"
+  "libhds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_runtime.dir/team.cpp.o"
+  "CMakeFiles/hds_runtime.dir/team.cpp.o.d"
+  "libhds_runtime.a"
+  "libhds_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

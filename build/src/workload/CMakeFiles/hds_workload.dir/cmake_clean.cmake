@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_workload.dir/distributions.cpp.o"
+  "CMakeFiles/hds_workload.dir/distributions.cpp.o.d"
+  "libhds_workload.a"
+  "libhds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algorithms.cpp" "tests/CMakeFiles/hds_tests.dir/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_algorithms.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/hds_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_capacity_and_verify.cpp" "tests/CMakeFiles/hds_tests.dir/test_capacity_and_verify.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_capacity_and_verify.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hds_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core_merge.cpp" "tests/CMakeFiles/hds_tests.dir/test_core_merge.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_core_merge.cpp.o.d"
+  "/root/repo/tests/test_core_multiselect.cpp" "tests/CMakeFiles/hds_tests.dir/test_core_multiselect.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_core_multiselect.cpp.o.d"
+  "/root/repo/tests/test_core_selection.cpp" "tests/CMakeFiles/hds_tests.dir/test_core_selection.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_core_selection.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/hds_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_exchange_algorithms.cpp" "tests/CMakeFiles/hds_tests.dir/test_exchange_algorithms.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_exchange_algorithms.cpp.o.d"
+  "/root/repo/tests/test_key_traits_typed.cpp" "tests/CMakeFiles/hds_tests.dir/test_key_traits_typed.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_key_traits_typed.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hds_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/hds_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_sort.cpp" "tests/CMakeFiles/hds_tests.dir/test_sort.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_sort.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/hds_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/hds_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hds_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

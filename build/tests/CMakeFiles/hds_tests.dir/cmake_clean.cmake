@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hds_tests.dir/test_algorithms.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_algorithms.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_capacity_and_verify.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_capacity_and_verify.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_common.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_core_merge.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_core_merge.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_core_multiselect.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_core_multiselect.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_core_selection.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_core_selection.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_exchange_algorithms.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_exchange_algorithms.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_key_traits_typed.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_key_traits_typed.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_runtime.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_runtime.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_sort.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_sort.cpp.o.d"
+  "CMakeFiles/hds_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/hds_tests.dir/test_workload.cpp.o.d"
+  "hds_tests"
+  "hds_tests.pdb"
+  "hds_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hds_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
