@@ -29,7 +29,8 @@ class Args {
       s = s.substr(2);
       const auto eq = s.find('=');
       if (eq == std::string::npos)
-        kv_[s] = "1";
+        kv_[s] = std::string("1");  // avoids a GCC 12 -Wrestrict false
+                                    // positive on assign(const char*)
       else
         kv_[s.substr(0, eq)] = s.substr(eq + 1);
     }

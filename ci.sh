@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: build + test in the two configurations that matter for
+# this repo — the optimized config the benchmarks use, and ThreadSanitizer,
+# because the runtime is std::thread-based (one OS thread per simulated
+# rank plus a watchdog) and data races would otherwise only surface as
+# flaky collectives.
+#
+# Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1"; shift
+  local dir="build-ci-${name}"
+  echo "=== ${name}: configure ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== ${name}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config relwithdebinfo \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_WERROR=ON
+
+# TSan wants debug info and no aggressive inlining to produce usable
+# reports; RelWithDebInfo (-O2 -g) is the supported sweet spot. Benchmarks
+# are excluded — they only add build time and measure nothing under TSan.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_config tsan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_SANITIZE=thread \
+  -DHDS_BUILD_BENCH=OFF -DHDS_BUILD_EXAMPLES=OFF
+
+echo "=== CI: all configurations passed ==="

@@ -112,10 +112,13 @@ int main(int argc, char** argv) {
                 << " ranks x " << per_rank << " particles, "
                 << stats.histogram_iterations << " histogram iterations):\n";
     comm.barrier();
-    std::cout << "  rank " << comm.rank() << ": curve ["
-              << particles.front().morton << " .. "
-              << particles.back().morton << "], centroid (" << cx << ", "
-              << cy << ", " << cz << "), rms spread " << spread << "\n";
+    if (particles.empty())
+      std::cout << "  rank " << comm.rank() << ": curve [empty]\n";
+    else
+      std::cout << "  rank " << comm.rank() << ": curve ["
+                << particles.front().morton << " .. "
+                << particles.back().morton << "], centroid (" << cx << ", "
+                << cy << ", " << cz << "), rms spread " << spread << "\n";
   });
 
   std::cout << "simulated makespan: " << team.stats().makespan_s << " s\n";

@@ -59,8 +59,11 @@ int main(int argc, char** argv) {
                 << stats.elements_before << "\n";
     }
     comm.barrier();
-    std::cout << "  rank " << comm.rank() << ": [" << local.front() << " .. "
-              << local.back() << "], n=" << local.size() << "\n";
+    if (local.empty())
+      std::cout << "  rank " << comm.rank() << ": [empty], n=0\n";
+    else
+      std::cout << "  rank " << comm.rank() << ": [" << local.front()
+                << " .. " << local.back() << "], n=" << local.size() << "\n";
   });
 
   std::cout << "simulated makespan: " << team.stats().makespan_s << " s\n";

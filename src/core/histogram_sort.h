@@ -16,6 +16,7 @@
 // supported throughout.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -173,6 +174,63 @@ SortStats sort_balanced(runtime::Comm& comm, std::vector<T>& local,
   const usize extra = static_cast<usize>(n) % comm.size();
   const usize mine = base + (static_cast<usize>(comm.rank()) < extra ? 1 : 0);
   return sort_to_capacity(comm, local, key, mine, cfg);
+}
+
+/// Resilient end-to-end sort: runs the full histogram sort on `team` with
+/// bounded retries. The caller's input partitions are preserved across
+/// attempts — each attempt sorts a fresh copy — so a rank failure (e.g. an
+/// injected crash, see runtime/fault.h) mid-superstep simply discards the
+/// attempt and re-runs from the original input. After a successful run the
+/// global sort invariant is verified collectively before the result is
+/// committed back into `partitions`; a violated invariant counts as a
+/// failed attempt. Returns rank-aggregated stats (sums over ranks for
+/// element counts, max over ranks for iteration/probe counts); `attempts`,
+/// if non-null, receives the number of attempts used.
+template <class T, class KeyFn>
+SortStats sort_resilient(runtime::Team& team,
+                         std::vector<std::vector<T>>& partitions, KeyFn key,
+                         const SortConfig& cfg = {},
+                         const runtime::RetryPolicy& policy = {},
+                         int* attempts = nullptr) {
+  HDS_CHECK_MSG(partitions.size() == static_cast<usize>(team.size()),
+                "sort_resilient: need one input partition per rank ("
+                    << partitions.size() << " given, team size "
+                    << team.size() << ")");
+  std::vector<std::vector<T>> work(partitions.size());
+  std::vector<SortStats> per_rank(partitions.size());
+  const int used = team.run_with_retry(
+      [&](runtime::Comm& c) {
+        auto& mine = work[c.rank()];
+        per_rank[c.rank()] = sort_by_key(c, mine, key, cfg);
+        HDS_CHECK_MSG(
+            is_globally_sorted(
+                c, std::span<const T>(mine.data(), mine.size()), key),
+            "sort_resilient: output violates the global sort invariant");
+      },
+      policy, [&](int) { work = partitions; });
+  partitions = std::move(work);
+  if (attempts) *attempts = used;
+  SortStats agg;
+  for (const SortStats& s : per_rank) {
+    agg.histogram_iterations =
+        std::max(agg.histogram_iterations, s.histogram_iterations);
+    agg.splitter_probes = std::max(agg.splitter_probes, s.splitter_probes);
+    agg.elements_sent_off_rank += s.elements_sent_off_rank;
+    agg.elements_before += s.elements_before;
+    agg.elements_after += s.elements_after;
+  }
+  return agg;
+}
+
+/// Key-less convenience overload of sort_resilient.
+template <class T>
+SortStats sort_resilient(runtime::Team& team,
+                         std::vector<std::vector<T>>& partitions,
+                         const SortConfig& cfg = {},
+                         const runtime::RetryPolicy& policy = {},
+                         int* attempts = nullptr) {
+  return sort_resilient(
+      team, partitions, [](const T& v) { return v; }, cfg, policy, attempts);
 }
 
 /// Distributed nth_element: the value of 0-based global rank k, via the

@@ -61,8 +61,17 @@ class Barrier {
     cv_.notify_all();
   }
 
+  /// Ranks currently parked in wait() (diagnostic; racy by nature — the
+  /// watchdog reads it while ranks move, which is fine for a dump).
+  int waiting() const {
+    std::lock_guard lock(mu_);
+    return waiting_;
+  }
+
+  int participants() const { return count_; }
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   const int count_;
   int waiting_ = 0;

@@ -26,6 +26,7 @@
 #include "common/error.h"
 #include "net/cost_model.h"
 #include "net/sim.h"
+#include "runtime/fault.h"
 #include "runtime/team.h"
 
 namespace hds::runtime {
@@ -43,7 +44,30 @@ enum class OpId : u32 {
   Exscan,
   Scan,
   Split,
+  // Point-to-point ops: never published into a collective slot, but they
+  // share the id space so fault plans and the watchdog dump can name them.
+  Send,
+  Recv,
 };
+
+constexpr std::string_view op_name(OpId op) {
+  switch (op) {
+    case OpId::Barrier: return "Barrier";
+    case OpId::Broadcast: return "Broadcast";
+    case OpId::Allreduce: return "Allreduce";
+    case OpId::Allgather: return "Allgather";
+    case OpId::Allgatherv: return "Allgatherv";
+    case OpId::Gatherv: return "Gatherv";
+    case OpId::Alltoall: return "Alltoall";
+    case OpId::Alltoallv: return "Alltoallv";
+    case OpId::Exscan: return "Exscan";
+    case OpId::Scan: return "Scan";
+    case OpId::Split: return "Split";
+    case OpId::Send: return "Send";
+    case OpId::Recv: return "Recv";
+  }
+  return "?";
+}
 }  // namespace detail
 
 class Comm {
@@ -185,11 +209,11 @@ class Comm {
   std::vector<T> allgatherv(std::span<const T> in,
                             std::vector<usize>* counts = nullptr) {
     check_trivial<T>();
-    usize max_bytes = 0;
     auto& ep = collective(
         detail::OpId::Allgatherv, in.data(), in.size() * sizeof(T), nullptr,
         [&](detail::EpochArena& a) {
           usize total = 0;
+          usize max_bytes = 0;
           for (int r = 0; r < size(); ++r) {
             total += a.slots[r].bytes;
             max_bytes = std::max(max_bytes, a.slots[r].bytes);
@@ -203,8 +227,9 @@ class Comm {
             off += a.slots[r].bytes;
           }
           fill_out(a, 0, total);
-          return cost().allgather(size(), nodes(),
-                                  total / std::max(1, size()),
+          // A ring/dissemination allgatherv is gated by the largest single
+          // contribution per round, not the mean: charge max_bytes.
+          return cost().allgather(size(), nodes(), max_bytes,
                                   net::Traffic::Control);
         });
     std::vector<T> out(ep.result.size() / sizeof(T));
@@ -399,18 +424,12 @@ class Comm {
   void send(int dst, u64 tag, std::span<const T> data,
             net::Traffic traffic = net::Traffic::Data) {
     check_trivial<T>();
+    note_op(detail::OpId::Send);
     const rank_t dw = world_rank_of(dst);
     const double dt =
         cost().p2p(world_rank(), dw, data.size() * sizeof(T), traffic);
     clock().advance(dt);  // synchronous send: sender busy for the transfer
-    Message msg;
-    msg.src = world_rank();
-    msg.tag = tag;
-    msg.arrival_s = clock().now();
-    msg.data.resize(data.size() * sizeof(T));
-    if (!msg.data.empty())
-      std::memcpy(msg.data.data(), data.data(), msg.data.size());
-    team_->mailboxes_[dw]->push(std::move(msg));
+    deliver(dw, tag, data);
   }
 
   /// Transfer without any simulated-time charge. For modelled baselines
@@ -419,20 +438,21 @@ class Comm {
   template <class T>
   void send_uncharged(int dst, u64 tag, std::span<const T> data) {
     check_trivial<T>();
-    Message msg;
-    msg.src = world_rank();
-    msg.tag = tag;
-    msg.arrival_s = clock().now();
-    msg.data.resize(data.size() * sizeof(T));
-    if (!msg.data.empty())
-      std::memcpy(msg.data.data(), data.data(), msg.data.size());
-    team_->mailboxes_[world_rank_of(dst)]->push(std::move(msg));
+    note_op(detail::OpId::Send);
+    deliver(world_rank_of(dst), tag, data);
   }
 
   template <class T>
   std::vector<T> recv(int src, u64 tag) {
     check_trivial<T>();
-    Message msg = team_->mailboxes_[world_rank()]->pop(world_rank_of(src), tag);
+    note_op(detail::OpId::Recv);
+    const rank_t sw = world_rank_of(src);
+    Message msg;
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::MailboxRecv,
+                             static_cast<u64>(sw), tag);
+      msg = team_->mailboxes_[world_rank()]->pop(sw, tag);
+    }
     clock().sync_to(std::max(clock().now(), msg.arrival_s));
     std::vector<T> out(msg.data.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), msg.data.data(), msg.data.size());
@@ -448,6 +468,25 @@ class Comm {
 
   int nodes() const { return state_->nodes_spanned; }
 
+  /// Enqueue a message at the destination's mailbox, honoring the fault
+  /// plan: the message may be dropped (lost on the wire) or arrive late.
+  template <class T>
+  void deliver(rank_t dst_world, u64 tag, std::span<const T> data) {
+    double extra_delay_s = 0.0;
+    if (FaultPlan* fp = team_->fault_plan()) {
+      if (!fp->on_send(world_rank(), dst_world, tag, &extra_delay_s))
+        return;  // dropped: sender proceeds, receiver never sees it
+    }
+    Message msg;
+    msg.src = world_rank();
+    msg.tag = tag;
+    msg.arrival_s = clock().now() + extra_delay_s;
+    msg.data.resize(data.size() * sizeof(T));
+    if (!msg.data.empty())
+      std::memcpy(msg.data.data(), data.data(), msg.data.size());
+    team_->mailboxes_[dst_world]->push(std::move(msg));
+  }
+
   void zero_out(detail::EpochArena& a) {
     a.result.clear();
     fill_out(a, 0, 0);
@@ -460,12 +499,51 @@ class Comm {
     }
   }
 
+  /// Progress ledger of this rank (owned by the enclosing Team, read by the
+  /// watchdog).
+  detail::ProgressState& progress() {
+    return team_->progress_[world_rank()];
+  }
+
+  /// Book-keeping common to every communication op: update the progress
+  /// ledger (watchdog) and consult the fault plan, which may crash this
+  /// rank (rank_failed) or straggle its SimClock.
+  void note_op(detail::OpId op) {
+    auto& ps = progress();
+    ps.last_op.store(static_cast<u32>(op), std::memory_order_relaxed);
+    ps.sim_clock.store(clock().now(), std::memory_order_relaxed);
+    ps.ops.fetch_add(1, std::memory_order_relaxed);
+    if (FaultPlan* fp = team_->fault_plan())
+      fp->on_op(world_rank(), static_cast<u32>(op), clock());
+  }
+
+  /// Release-mode guard, run by the root executor between the barriers:
+  /// every member must have entered the same collective this round. A
+  /// mismatch (one rank in allreduce while another is in barrier) is a
+  /// programming error that would silently corrupt data or deadlock under
+  /// MPI; here it aborts the team with a structured report naming the
+  /// participating ranks and their attempted ops.
+  void check_matching_ops(const detail::EpochArena& ep, detail::OpId op) {
+    bool mismatch = false;
+    for (const auto& s : ep.slots)
+      if (s.op_id != static_cast<u32>(op)) mismatch = true;
+    if (!mismatch) return;
+    std::ostringstream os;
+    os << "collective mismatch on communicator of size " << size()
+       << ": members entered different collectives in the same round —";
+    for (int r = 0; r < size(); ++r)
+      os << "\n  rank " << r << " (world " << world_rank_of(r) << "): "
+         << detail::op_name(static_cast<detail::OpId>(ep.slots[r].op_id));
+    throw collective_mismatch(os.str());
+  }
+
   /// The generic two-barrier collective. `root_fn` runs on member 0 between
   /// the barriers and must populate result/out_off/out_len and return the
   /// modelled cost in seconds.
   template <class RootFn>
   detail::EpochArena& collective(detail::OpId op, const void* in, usize bytes,
                                  const usize* counts, RootFn&& root_fn) {
+    note_op(op);
     auto& ep = state_->epochs[round_++ & 1u];
     auto& slot = ep.slots[idx_];
     slot.in = in;
@@ -473,16 +551,20 @@ class Comm {
     slot.counts = counts;
     slot.clock = clock().now();
     slot.op_id = static_cast<u32>(op);
-    state_->barrier.wait();
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::Barrier);
+      state_->barrier.wait();
+    }
     if (idx_ == 0) {
+      check_matching_ops(ep, op);
       double entry = 0.0;
-      for (const auto& s : ep.slots) {
-        HDS_ASSERT(s.op_id == static_cast<u32>(op));
-        entry = std::max(entry, s.clock);
-      }
+      for (const auto& s : ep.slots) entry = std::max(entry, s.clock);
       ep.sync_time = entry + root_fn(ep);
     }
-    state_->barrier.wait();
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::Barrier);
+      state_->barrier.wait();
+    }
     return ep;
   }
 

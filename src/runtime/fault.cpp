@@ -1,0 +1,107 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hds::runtime {
+
+FaultPlan& FaultPlan::crash_rank_at_op(rank_t rank, u64 k) {
+  std::lock_guard lock(mu_);
+  op_actions_.push_back(OpAction{rank, k, /*crash=*/true, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_rank_at_op(rank_t rank, u64 k,
+                                       double sim_seconds) {
+  HDS_CHECK(sim_seconds >= 0.0);
+  std::lock_guard lock(mu_);
+  op_actions_.push_back(OpAction{rank, k, /*crash=*/false, sim_seconds});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_message(rank_t src, rank_t dst, u64 tag) {
+  std::lock_guard lock(mu_);
+  msg_actions_.push_back(MsgAction{src, dst, tag, /*drop=*/true, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_message(rank_t src, rank_t dst, u64 tag,
+                                    double sim_seconds) {
+  HDS_CHECK(sim_seconds >= 0.0);
+  std::lock_guard lock(mu_);
+  msg_actions_.push_back(MsgAction{src, dst, tag, /*drop=*/false, sim_seconds});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_messages_with_probability(double p) {
+  HDS_CHECK(p >= 0.0 && p <= 1.0);
+  std::lock_guard lock(mu_);
+  drop_prob_ = p;
+  return *this;
+}
+
+void FaultPlan::rearm() {
+  std::lock_guard lock(mu_);
+  for (auto& a : op_actions_) a.armed = true;
+  for (auto& a : msg_actions_) a.armed = true;
+  rng_ = Xoshiro256(seed_);
+}
+
+void FaultPlan::begin_run(int nranks) {
+  std::lock_guard lock(mu_);
+  op_count_.assign(static_cast<usize>(std::max(
+                       nranks, static_cast<int>(op_count_.size()))),
+                   0);
+}
+
+u64 FaultPlan::on_op(rank_t rank, u32 /*op_id*/, net::SimClock& clock) {
+  // Copy the triggered action out so the trigger itself runs outside the
+  // lock; a pointer into op_actions_ would dangle if a builder reallocated
+  // the vector concurrently.
+  OpAction hit{};
+  bool triggered = false;
+  u64 k = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (static_cast<usize>(rank) >= op_count_.size())
+      op_count_.resize(static_cast<usize>(rank) + 1, 0);
+    k = op_count_[rank]++;
+    for (auto& a : op_actions_) {
+      if (a.armed && a.rank == rank && a.k == k) {
+        a.armed = false;
+        hit = a;
+        triggered = true;
+        break;
+      }
+    }
+  }
+  if (triggered) {
+    if (hit.crash) throw rank_failed(rank, k);
+    clock.advance(hit.delay_s);
+  }
+  return k;
+}
+
+bool FaultPlan::on_send(rank_t src, rank_t dst, u64 tag,
+                        double* extra_delay_s) {
+  *extra_delay_s = 0.0;
+  std::lock_guard lock(mu_);
+  for (auto& a : msg_actions_) {
+    if (a.armed && a.src == src && a.dst == dst && a.tag == tag) {
+      a.armed = false;
+      if (a.drop) return false;
+      *extra_delay_s = a.delay_s;
+      return true;
+    }
+  }
+  if (drop_prob_ > 0.0 && rng_.uniform01() < drop_prob_) return false;
+  return true;
+}
+
+u64 FaultPlan::ops_observed(rank_t rank) const {
+  std::lock_guard lock(mu_);
+  return static_cast<usize>(rank) < op_count_.size() ? op_count_[rank] : 0;
+}
+
+}  // namespace hds::runtime

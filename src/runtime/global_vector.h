@@ -41,10 +41,16 @@ class GlobalVector {
   /// after shard sizes change and before global_size/locate/get/put.
   void rebuild_index(Comm& comm) {
     const usize n = shards_[comm.world_rank()].size();
-    offsets_.assign(comm.size() + 1, 0);
     std::vector<usize> sizes(comm.size());
     comm.allgather(&n, 1, sizes.data());
-    std::partial_sum(sizes.begin(), sizes.end(), offsets_.begin() + 1);
+    // offsets_ is shared by every rank, so only one may write it. The
+    // allgather above orders the write after any prior-phase readers; the
+    // barrier below publishes the new index before anyone reads it.
+    if (comm.rank() == 0) {
+      offsets_.assign(comm.size() + 1, 0);
+      std::partial_sum(sizes.begin(), sizes.end(), offsets_.begin() + 1);
+    }
+    comm.barrier();
   }
 
   usize global_size() const {

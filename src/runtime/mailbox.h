@@ -7,6 +7,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -58,8 +59,26 @@ class Mailbox {
     cv_.notify_all();
   }
 
+  /// Undelivered messages sitting in this mailbox (watchdog diagnostic).
+  usize pending() const {
+    std::lock_guard lock(mu_);
+    return msgs_.size();
+  }
+
+  /// (src, tag) of up to `max` undelivered messages, for the watchdog dump:
+  /// a receiver stuck on one channel often has the "wrong" message queued.
+  std::vector<std::pair<rank_t, u64>> pending_channels(usize max = 4) const {
+    std::lock_guard lock(mu_);
+    std::vector<std::pair<rank_t, u64>> out;
+    for (const auto& m : msgs_) {
+      if (out.size() >= max) break;
+      out.emplace_back(m.src, m.tag);
+    }
+    return out;
+  }
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> msgs_;
   const std::atomic<bool>* abort_;

@@ -1,10 +1,13 @@
 #include "runtime/team.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 #include <thread>
 
 #include "common/error.h"
 #include "runtime/comm.h"
+#include "runtime/fault.h"
 
 namespace hds::runtime {
 
@@ -46,6 +49,8 @@ Team::Team(TeamConfig cfg) : cfg_(cfg) {
                                                &abort_);
   clocks_.resize(cfg_.nranks);
   final_times_.resize(cfg_.nranks, 0.0);
+  progress_ = std::make_unique<detail::ProgressState[]>(
+      static_cast<usize>(cfg_.nranks));
 }
 
 Team::~Team() = default;
@@ -63,20 +68,42 @@ void Team::run(const std::function<void(Comm&)>& fn) {
   mailboxes_.reserve(cfg_.nranks);
   for (int r = 0; r < cfg_.nranks; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>(&abort_));
+  for (int r = 0; r < cfg_.nranks; ++r) progress_[r].reset();
+  if (cfg_.fault) cfg_.fault->begin_run(cfg_.nranks);
+
+  std::atomic<int> done{0};
+  std::thread watchdog;
+  if (cfg_.watchdog_timeout_s > 0.0) {
+    {
+      std::lock_guard lock(watchdog_mu_);
+      watchdog_stop_ = false;
+    }
+    watchdog = std::thread([this, &done] { watchdog_loop(done); });
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(cfg_.nranks);
   for (int r = 0; r < cfg_.nranks; ++r) {
-    threads.emplace_back([this, &fn, r] {
+    threads.emplace_back([this, &fn, r, &done] {
       Comm comm(this, world_.get(), r);
       try {
         fn(comm);
       } catch (...) {
         record_error(std::current_exception());
       }
+      progress_[r].done.store(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_relaxed);
     });
   }
   for (auto& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog.join();
+  }
 
   if (first_error_) std::rethrow_exception(first_error_);
 
@@ -89,6 +116,117 @@ void Team::run(const std::function<void(Comm&)>& fn) {
           clocks_[r].phase_seconds(static_cast<net::Phase>(p));
   }
   for (auto& v : stats_.phase_s) v /= cfg_.nranks;
+}
+
+int Team::run_with_retry(const std::function<void(Comm&)>& fn,
+                         const RetryPolicy& policy,
+                         const std::function<void(int)>& before_attempt) {
+  HDS_CHECK(policy.max_attempts >= 1);
+  double backoff = policy.backoff_s;
+  for (int attempt = 1;; ++attempt) {
+    if (before_attempt) before_attempt(attempt);
+    try {
+      run(fn);
+      return attempt;
+    } catch (...) {
+      if (attempt >= policy.max_attempts) throw;
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+}
+
+void Team::watchdog_loop(const std::atomic<int>& done) {
+  using clock = std::chrono::steady_clock;
+  const double timeout = cfg_.watchdog_timeout_s;
+  const auto poll = std::chrono::duration<double>(
+      std::clamp(timeout / 8.0, 0.001, 0.1));
+
+  auto snapshot = [&] {
+    // ops and done only ever increase within a run, so an unchanged sum
+    // means no rank completed an op or exited since the last sample.
+    u64 s = static_cast<u64>(done.load(std::memory_order_relaxed));
+    for (int r = 0; r < cfg_.nranks; ++r)
+      s += progress_[r].ops.load(std::memory_order_relaxed);
+    return s;
+  };
+
+  u64 last = snapshot();
+  auto last_change = clock::now();
+  for (;;) {
+    {
+      std::unique_lock lock(watchdog_mu_);
+      if (watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; }))
+        return;
+    }
+    if (done.load(std::memory_order_relaxed) >= cfg_.nranks) return;
+    const u64 s = snapshot();
+    if (s != last) {
+      last = s;
+      last_change = clock::now();
+      continue;
+    }
+    const double stalled =
+        std::chrono::duration<double>(clock::now() - last_change).count();
+    if (stalled < timeout) continue;
+    record_error(
+        std::make_exception_ptr(watchdog_timeout(progress_dump(stalled))));
+    return;
+  }
+}
+
+std::string Team::progress_dump(double stalled_s) const {
+  std::ostringstream os;
+  os << "watchdog: no progress on any rank for " << stalled_s
+     << "s (timeout " << cfg_.watchdog_timeout_s << "s); per-rank state:";
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    const auto& ps = progress_[r];
+    os << "\n  rank " << r << ": ";
+    if (ps.done.load(std::memory_order_relaxed)) {
+      os << "done";
+      continue;
+    }
+    os << "ops=" << ps.ops.load(std::memory_order_relaxed);
+    const u32 op = ps.last_op.load(std::memory_order_relaxed);
+    os << ", last_op="
+       << (op == 0 ? std::string_view("none")
+                   : detail::op_name(static_cast<detail::OpId>(op)));
+    switch (static_cast<detail::WaitSite>(
+        ps.site.load(std::memory_order_relaxed))) {
+      case detail::WaitSite::None:
+        os << ", site=running";
+        break;
+      case detail::WaitSite::Barrier:
+        os << ", site=barrier";
+        break;
+      case detail::WaitSite::MailboxRecv:
+        os << ", site=mailbox(src="
+           << ps.wait_src.load(std::memory_order_relaxed)
+           << ", tag=" << ps.wait_tag.load(std::memory_order_relaxed) << ")";
+        break;
+    }
+    os << ", sim_clock=" << ps.sim_clock.load(std::memory_order_relaxed)
+       << "s";
+    if (r < static_cast<int>(mailboxes_.size()) && mailboxes_[r]) {
+      const usize pending = mailboxes_[r]->pending();
+      if (pending > 0) {
+        os << ", inbox=" << pending << " undelivered [";
+        bool first = true;
+        for (const auto& [src, tag] : mailboxes_[r]->pending_channels()) {
+          if (!first) os << ", ";
+          first = false;
+          os << "(src=" << src << ", tag=" << tag << ")";
+        }
+        if (pending > 4) os << ", ...";
+        os << "]";
+      }
+    }
+  }
+  os << "\n  world barrier: " << world_->barrier.waiting() << "/"
+     << world_->barrier.participants() << " ranks parked";
+  return os.str();
 }
 
 detail::CommState* Team::register_subteam(

@@ -8,9 +8,11 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -23,6 +25,7 @@
 namespace hds::runtime {
 
 class Comm;
+class FaultPlan;
 
 struct TeamConfig {
   int nranks = 4;
@@ -32,6 +35,25 @@ struct TeamConfig {
   /// Virtual workload multiplier: data-volume cost terms and computation
   /// charges are scaled by this factor (see net::CostModel).
   double data_scale = 1.0;
+  /// Wall-clock no-progress bound: if no rank completes an op (or exits)
+  /// for this long while a run is in flight, the watchdog aborts the run
+  /// with a watchdog_timeout carrying a per-rank diagnostic dump instead of
+  /// letting a lost message or mismatched op sequence hang forever.
+  /// 0 disables the watchdog.
+  double watchdog_timeout_s = 60.0;
+  /// Optional deterministic fault schedule (see runtime/fault.h). The
+  /// explicit initializer keeps designated-initializer construction
+  /// (`TeamConfig{.nranks = p}`) free of -Wmissing-field-initializers.
+  std::shared_ptr<FaultPlan> fault = nullptr;
+};
+
+/// Bounded-retry policy for Team::run_with_retry. Backoff is wall-clock:
+/// attempt i (0-based) sleeps backoff_s * backoff_multiplier^(i-1) before
+/// re-running.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double backoff_s = 0.0;
+  double backoff_multiplier = 2.0;
 };
 
 namespace detail {
@@ -54,6 +76,53 @@ struct EpochArena {
   std::vector<usize> out_off;
   std::vector<usize> out_len;
   double sync_time = 0.0;
+};
+
+/// Where a rank is blocked, for the watchdog's diagnostic dump.
+enum class WaitSite : u32 { None = 0, Barrier = 1, MailboxRecv = 2 };
+
+/// Per-rank progress ledger, written only by the owning rank's thread and
+/// read by the watchdog. `ops` increases monotonically within a run, so the
+/// watchdog's progress signal is simply "sum over ranks changed".
+struct ProgressState {
+  std::atomic<u64> ops{0};        ///< communication ops started this run
+  std::atomic<u32> last_op{0};    ///< OpId of the most recent op (0 = none)
+  std::atomic<u32> site{0};       ///< WaitSite the rank is blocked at
+  std::atomic<u64> wait_src{0};   ///< world rank awaited (MailboxRecv)
+  std::atomic<u64> wait_tag{0};   ///< tag awaited (MailboxRecv)
+  std::atomic<double> sim_clock{0.0};  ///< rank's SimClock at last op
+  std::atomic<u32> done{0};       ///< rank's thread has exited
+
+  void reset() {
+    ops.store(0, std::memory_order_relaxed);
+    last_op.store(0, std::memory_order_relaxed);
+    site.store(0, std::memory_order_relaxed);
+    wait_src.store(0, std::memory_order_relaxed);
+    wait_tag.store(0, std::memory_order_relaxed);
+    sim_clock.store(0.0, std::memory_order_relaxed);
+    done.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// RAII marker for a blocking wait: sets the rank's waiting site on entry
+/// and clears it on exit (including unwind via team_aborted).
+class SiteScope {
+ public:
+  SiteScope(ProgressState& ps, WaitSite site, u64 src = 0, u64 tag = 0)
+      : ps_(ps) {
+    ps_.wait_src.store(src, std::memory_order_relaxed);
+    ps_.wait_tag.store(tag, std::memory_order_relaxed);
+    ps_.site.store(static_cast<u32>(site), std::memory_order_relaxed);
+  }
+  ~SiteScope() {
+    ps_.site.store(static_cast<u32>(WaitSite::None),
+                   std::memory_order_relaxed);
+  }
+  SiteScope(const SiteScope&) = delete;
+  SiteScope& operator=(const SiteScope&) = delete;
+
+ private:
+  ProgressState& ps_;
 };
 
 /// Shared state of one communicator (the world or a split subgroup).
@@ -80,7 +149,18 @@ class Team {
   /// Run `fn` on every rank; blocks until all ranks return. Clocks are
   /// reset first. If a rank throws, the team is poisoned, remaining ranks
   /// unwind via team_aborted, and the original exception is rethrown here.
+  /// With a watchdog timeout configured, a wall-clock hang (lost message,
+  /// mismatched op sequence) is converted into a watchdog_timeout abort.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Run `fn` with bounded retries: on failure the run is repeated (after
+  /// the policy's backoff) up to max_attempts times; the last error is
+  /// rethrown if every attempt fails. `before_attempt`, if set, runs before
+  /// each attempt (1-based) so the caller can restore per-attempt state.
+  /// Returns the number of attempts used.
+  int run_with_retry(const std::function<void(Comm&)>& fn,
+                     const RetryPolicy& policy = {},
+                     const std::function<void(int)>& before_attempt = {});
 
   int size() const { return cfg_.nranks; }
   const TeamConfig& config() const { return cfg_; }
@@ -99,12 +179,23 @@ class Team {
   void record_error(std::exception_ptr ep);
   void poison_all();
 
+  FaultPlan* fault_plan() const { return cfg_.fault.get(); }
+  /// Per-rank diagnostic snapshot for the watchdog abort message.
+  std::string progress_dump(double stalled_s) const;
+  /// Watchdog body: aborts the run if the progress snapshot stalls.
+  void watchdog_loop(const std::atomic<int>& done);
+
   TeamConfig cfg_;
   net::CostModel cost_;
   std::atomic<bool> abort_{false};
   std::unique_ptr<detail::CommState> world_;
   std::vector<net::SimClock> clocks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<detail::ProgressState[]> progress_;
+
+  std::mutex watchdog_mu_;  ///< guards watchdog_stop_, paired with its cv
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   std::mutex subteam_mu_;
   std::vector<std::unique_ptr<detail::CommState>> subteams_;

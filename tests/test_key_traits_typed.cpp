@@ -109,7 +109,9 @@ TYPED_TEST(KeyTraitsTyped, MidpointLiesWithinAndBisects) {
     const auto mid = key_midpoint(ua, ub);
     EXPECT_GE(mid, ua);
     EXPECT_LE(mid, ub);
-    if (ua != ub) EXPECT_LT(mid, ub);  // bisection always makes progress
+    if (ua != ub) {
+      EXPECT_LT(mid, ub);  // bisection always makes progress
+    }
     const T mv = Tr::from_uint(mid);
     EXPECT_FALSE(mv < a);
     EXPECT_FALSE(b < mv);

@@ -436,7 +436,9 @@ TEST(GlobalVectorTest, PutWritesRemote) {
     c.barrier();
     if (c.rank() == 0) gv.put(c, 5, 42);  // last element of rank 1
     c.barrier();
-    if (c.rank() == 1) EXPECT_EQ(gv.local(c)[2], 42);
+    if (c.rank() == 1) {
+      EXPECT_EQ(gv.local(c)[2], 42);
+    }
   });
 }
 
