@@ -25,6 +25,30 @@ run_config() {
 run_config relwithdebinfo \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_WERROR=ON
 
+# Perf smoke: the radix kernel must beat std::sort on uniform u64 at
+# n = 2^20 on whatever hardware CI runs on — this is the wall-clock claim
+# the Auto crossover is built on. Also validates the JSON the bench emits.
+echo "=== perf smoke: bench_local_sort ==="
+(cd build-ci-relwithdebinfo &&
+  ./bench/bench_local_sort --max_exp=20 --reps=3 --out=BENCH_local_sort.json)
+python3 - build-ci-relwithdebinfo/BENCH_local_sort.json <<'PYEOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))
+assert isinstance(cells, list) and cells, "empty or malformed JSON"
+for c in cells:
+    for k in ("type", "n", "kernel", "seconds_median",
+              "speedup_vs_comparison"):
+        assert k in c, f"missing field {k}: {c}"
+target = [c for c in cells
+          if c["type"] == "u64" and c["n"] == 1 << 20 and
+             c["kernel"] == "radix"]
+assert target, "no u64 radix cell at n=2^20"
+speedup = target[0]["speedup_vs_comparison"]
+assert speedup > 1.0, f"radix lost to std::sort on u64 at 2^20: {speedup}x"
+print(f"perf smoke OK: radix {speedup:.2f}x faster than std::sort "
+      "(u64, n=2^20)")
+PYEOF
+
 # TSan wants debug info and no aggressive inlining to produce usable
 # reports; RelWithDebInfo (-O2 -g) is the supported sweet spot. Benchmarks
 # are excluded — they only add build time and measure nothing under TSan.

@@ -26,8 +26,10 @@ struct BitonicStats {
 /// Bitonic sort of a distributed vector; every rank must hold the same
 /// number of elements and the rank count must be a power of two.
 template <class T>
-BitonicStats bitonic_sort(runtime::Comm& comm, std::vector<T>& local) {
-  auto identity = [](const T& v) { return v; };
+BitonicStats bitonic_sort(
+    runtime::Comm& comm, std::vector<T>& local,
+    core::LocalSortKernel kernel = core::LocalSortKernel::Auto) {
+  core::IdentityKey identity;
   const int P = comm.size();
   if (!is_pow2(static_cast<u64>(P)))
     throw argument_error("bitonic_sort: P must be a power of two");
@@ -41,7 +43,7 @@ BitonicStats bitonic_sort(runtime::Comm& comm, std::vector<T>& local) {
   BitonicStats stats;
   {
     net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
-    core::local_sort(comm, local, identity);
+    core::local_sort(comm, local, identity, kernel);
   }
   if (P == 1 || local.empty()) return stats;
 

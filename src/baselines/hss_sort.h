@@ -46,6 +46,7 @@ struct HssConfig {
   u64 seed = 1;
   usize max_rounds = 512;
   core::MergeStrategy merge = core::MergeStrategy::Sort;
+  core::LocalSortKernel kernel = core::LocalSortKernel::Auto;
 };
 
 struct HssStats {
@@ -61,7 +62,7 @@ HssStats hss_sort(runtime::Comm& comm, std::vector<T>& local,
                   const HssConfig& cfg = {}) {
   using Traits = core::KeyTraits<T>;
   using UK = typename Traits::uint_type;
-  auto identity = [](const T& v) { return v; };
+  core::IdentityKey identity;
   const int P = comm.size();
   if (!is_pow2(static_cast<u64>(P)))
     throw argument_error(
@@ -71,7 +72,7 @@ HssStats hss_sort(runtime::Comm& comm, std::vector<T>& local,
   HssStats stats;
   {
     net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
-    core::local_sort(comm, local, identity);
+    core::local_sort(comm, local, identity, cfg.kernel);
   }
   const std::span<const T> sorted(local.data(), local.size());
 
@@ -260,7 +261,7 @@ HssStats hss_sort(runtime::Comm& comm, std::vector<T>& local,
   // splitter-determination strategies.
   auto ex = core::exchange(comm, sorted, result);
   core::merge_chunks(comm, ex.data, std::span<const usize>(ex.recv_counts),
-                     cfg.merge, identity);
+                     cfg.merge, identity, cfg.kernel);
   local = std::move(ex.data);
   stats.elements_after = local.size();
   return stats;

@@ -29,6 +29,7 @@ struct HyksortConfig {
   int k = 8;
   double epsilon = 0.0;
   core::MergeStrategy merge = core::MergeStrategy::Tournament;
+  core::LocalSortKernel kernel = core::LocalSortKernel::Auto;
 };
 
 struct HyksortStats {
@@ -53,11 +54,11 @@ inline int effective_k(int group_size, int k_max) {
 template <class T>
 HyksortStats hyksort(runtime::Comm& comm, std::vector<T>& local,
                      const HyksortConfig& cfg = {}) {
-  auto identity = [](const T& v) { return v; };
+  core::IdentityKey identity;
   HyksortStats stats;
   {
     net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
-    core::local_sort(comm, local, identity);
+    core::local_sort(comm, local, identity, cfg.kernel);
   }
 
   // Recurse by value on Comm handles (they are cheap views).
@@ -105,7 +106,7 @@ HyksortStats hyksort(runtime::Comm& comm, std::vector<T>& local,
           std::span<const T>(local.data(), local.size()), send, &recv_counts);
     }
     core::merge_chunks(group, received, std::span<const usize>(recv_counts),
-                       cfg.merge, identity);
+                       cfg.merge, identity, cfg.kernel);
     local = std::move(received);
 
     // Descend into my subgroup (the communicator split the paper's

@@ -37,6 +37,9 @@ struct PMergeSortConfig {
   /// hyperthreading benefits the paper observed) — this is what makes PSTL
   /// win inside one NUMA domain in Fig. 4.
   double sort_s_per_elem_log = 1.5e-9;
+  /// Kernel for the real (uncharged) local sort; simulated time stays the
+  /// analytic TBB critical path above regardless.
+  core::LocalSortKernel kernel = core::LocalSortKernel::Auto;
 };
 
 struct PMergeSortStats {
@@ -91,7 +94,12 @@ PMergeSortStats parallel_merge_sort(runtime::Comm& comm,
   }
 
   // --- real execution: serial merge tree over uncharged handoffs ----------
-  std::sort(local.begin(), local.end());
+  if (core::resolve_local_sort_kernel<T>(machine, local.size(), cfg.kernel) ==
+      core::LocalSortKernel::Radix) {
+    core::radix_sort_keys(local);
+  } else {
+    std::sort(local.begin(), local.end());
+  }
   const usize my_count = local.size();
   for (int l = 1; static_cast<u64>(1ULL << l) <= next_pow2(static_cast<u64>(P)) && P > 1; ++l) {
     const int step = 1 << l;

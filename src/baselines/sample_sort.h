@@ -25,6 +25,7 @@ struct SampleSortConfig {
   usize oversampling = 32;
   u64 seed = 1;
   core::MergeStrategy merge = core::MergeStrategy::Sort;
+  core::LocalSortKernel kernel = core::LocalSortKernel::Auto;
 };
 
 struct SampleSortStats {
@@ -39,14 +40,14 @@ template <class T>
 SampleSortStats sample_sort(runtime::Comm& comm, std::vector<T>& local,
                             const SampleSortConfig& cfg = {}) {
   using Traits = core::KeyTraits<T>;
-  auto identity = [](const T& v) { return v; };
+  core::IdentityKey identity;
   const int P = comm.size();
 
   // Superstep 0: local sort (needed for regular sampling and for cheap
   // partitioning by binary search).
   {
     net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
-    core::local_sort(comm, local, identity);
+    core::local_sort(comm, local, identity, cfg.kernel);
   }
 
   // Superstep 1: sampling.
@@ -111,7 +112,7 @@ SampleSortStats sample_sort(runtime::Comm& comm, std::vector<T>& local,
 
   // Final merge of received runs.
   core::merge_chunks(comm, received, std::span<const usize>(recv_counts),
-                     cfg.merge, identity);
+                     cfg.merge, identity, cfg.kernel);
   local = std::move(received);
 
   SampleSortStats stats;

@@ -392,14 +392,16 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
     out.data.insert(out.data.end(), slice.begin(), slice.end());
   }
   {
-    // One bundle per remote node, from my leader.
+    // One bundle per remote node, from my leader. Node ids are dense in
+    // [0, machine.nodes), so a seen-flag array discovers them in O(P)
+    // instead of an O(P^2) find-scan.
     std::vector<int> remote_nodes;
+    std::vector<u8> seen(static_cast<usize>(machine.nodes), 0);
     for (int r = 0; r < P; ++r) {
       const int nd = machine.node_of(comm.world_rank_of(r));
-      if (nd != my_node &&
-          std::find(remote_nodes.begin(), remote_nodes.end(), nd) ==
-              remote_nodes.end())
-        remote_nodes.push_back(nd);
+      if (nd == my_node || seen[static_cast<usize>(nd)]) continue;
+      seen[static_cast<usize>(nd)] = 1;
+      remote_nodes.push_back(nd);
     }
     for (int nd : remote_nodes) {
       const std::vector<u64> lens = node.recv<u64>(0, kFanLenTag + nd);

@@ -44,6 +44,8 @@ struct SortConfig {
   /// Load-balance threshold epsilon (Def. 1); 0 = perfect partitioning.
   double epsilon = 0.0;
   MergeStrategy merge = MergeStrategy::Sort;
+  /// Local-sort kernel for superstep 1 and the Sort merge strategy.
+  LocalSortKernel kernel = LocalSortKernel::Auto;
   SplitterInit init = SplitterInit::MinMax;
   usize sample_per_rank = 16;  ///< only used with SplitterInit::Sampled
   ExchangeAlgorithm exchange = ExchangeAlgorithm::Alltoallv;
@@ -79,7 +81,7 @@ SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
   // Superstep 1: local sort.
   {
     net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
-    if (!cfg.input_is_sorted) local_sort(comm, local, key);
+    if (!cfg.input_is_sorted) local_sort(comm, local, key, cfg.kernel);
   }
 
   // Targets: prefix sums of the output capacities (Def. 3).
@@ -141,7 +143,7 @@ SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
 
   // Superstep 4: local merge of the received sorted chunks.
   merge_chunks(comm, ex.data, std::span<const usize>(ex.recv_counts),
-               cfg.merge, key);
+               cfg.merge, key, cfg.kernel);
 
   local = std::move(ex.data);
   stats.elements_after = local.size();
@@ -160,7 +162,7 @@ SortStats sort_by_key(runtime::Comm& comm, std::vector<T>& local, KeyFn key,
 template <class T>
 SortStats sort(runtime::Comm& comm, std::vector<T>& local,
                const SortConfig& cfg = {}) {
-  return sort_by_key(comm, local, [](const T& v) { return v; }, cfg);
+  return sort_by_key(comm, local, IdentityKey{}, cfg);
 }
 
 /// Sort and rebalance in one data movement: every rank ends with an even
@@ -229,8 +231,8 @@ SortStats sort_resilient(runtime::Team& team,
                          const SortConfig& cfg = {},
                          const runtime::RetryPolicy& policy = {},
                          int* attempts = nullptr) {
-  return sort_resilient(
-      team, partitions, [](const T& v) { return v; }, cfg, policy, attempts);
+  return sort_resilient(team, partitions, IdentityKey{}, cfg, policy,
+                        attempts);
 }
 
 /// Distributed nth_element: the value of 0-based global rank k, via the

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "core/local_sort.h"
 #include "runtime/comm.h"
 
 namespace hds::core {
@@ -114,11 +115,14 @@ class LoserTree {
 };
 
 /// Merge `k` sorted runs (concatenated in `data`, lengths in `counts`) into
-/// a single sorted sequence, charging simulated time per strategy.
+/// a single sorted sequence, charging simulated time per strategy. The Sort
+/// strategy re-sorts through the local-sort kernel layer, so `kernel`
+/// selects the same comparison/radix dispatch as superstep 1.
 template <class T, class KeyFn>
 void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
                   std::span<const usize> counts, MergeStrategy strategy,
-                  KeyFn key) {
+                  KeyFn key,
+                  LocalSortKernel kernel = LocalSortKernel::Auto) {
   net::PhaseScope phase(comm.clock(), net::Phase::Merge);
   const usize n = data.size();
   auto less = [&](const T& a, const T& b) { return key(a) < key(b); };
@@ -130,8 +134,7 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
 
   switch (strategy) {
     case MergeStrategy::Sort: {
-      std::sort(data.begin(), data.end(), less);
-      comm.charge_sort(n);
+      local_sort(comm, data, key, kernel);
       return;
     }
     case MergeStrategy::BinaryTree: {
@@ -172,18 +175,22 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
       return;
     }
     case MergeStrategy::Tournament: {
+      // The loser tree reads the runs in place and extracts into a fresh
+      // output buffer, which then replaces `data` in O(1) — one full copy
+      // of n elements fewer than snapshotting the input first.
       std::vector<std::span<const T>> runs;
       usize off = 0;
-      std::vector<T> input = data;  // loser tree reads stable snapshots
       for (usize c : counts) {
         if (c > 0)
-          runs.emplace_back(std::span<const T>(input.data() + off, c));
+          runs.emplace_back(std::span<const T>(data.data() + off, c));
         off += c;
       }
       LoserTree<T, decltype(less)> tree(std::move(runs), less);
-      usize i = 0;
-      while (!tree.empty()) data[i++] = tree.pop();
-      HDS_CHECK(i == n);
+      std::vector<T> out;
+      out.reserve(n);
+      while (!tree.empty()) out.push_back(tree.pop());
+      HDS_CHECK(out.size() == n);
+      data.swap(out);
       comm.charge_kway_merge(n, nonempty);
       return;
     }

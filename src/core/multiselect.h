@@ -263,6 +263,9 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
   std::vector<UK> probes;
   std::vector<u64> hist;     // interleaved (lb, ub) per active boundary
   std::vector<u64> ghist;
+  std::vector<u32> order;    // probe indices in ascending probe order
+  std::vector<K> probe_keys;
+  std::vector<usize> lb_s, ub_s;
 
   while (!active.empty()) {
     HDS_CHECK_MSG(res.iterations < max_iter,
@@ -271,19 +274,33 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
     ++res.iterations;
 
     // Probe the midpoint of every unresolved boundary and build the local
-    // histogram by binary search (lines 6-7).
+    // histogram (lines 6-7). Boundary targets are non-decreasing, so the
+    // probes of one iteration are already (nearly) sorted: ordering them by
+    // value lets a single forward sweep answer every probe over a
+    // successively narrowed subrange instead of running two independent
+    // full-width binary searches per probe.
     probes.clear();
-    hist.clear();
-    for (usize b : active) {
-      const auto& s = search[b];
-      const UK probe = key_midpoint(s.cand_lo, s.cand_hi);
-      probes.push_back(probe);
-      const K probe_key = Traits::from_uint(probe);
-      hist.push_back(count_below(sorted_local, probe_key, key));
-      hist.push_back(count_below_equal(sorted_local, probe_key, key));
+    for (usize b : active)
+      probes.push_back(key_midpoint(search[b].cand_lo, search[b].cand_hi));
+    const usize A = active.size();
+    order.resize(A);
+    for (usize i = 0; i < A; ++i) order[i] = static_cast<u32>(i);
+    std::sort(order.begin(), order.end(),
+              [&](u32 x, u32 y) { return probes[x] < probes[y]; });
+    probe_keys.clear();
+    for (u32 i : order) probe_keys.push_back(Traits::from_uint(probes[i]));
+    lb_s.resize(A);
+    ub_s.resize(A);
+    batched_counts(sorted_local, std::span<const K>(probe_keys), key,
+                   lb_s.data(), ub_s.data());
+    hist.assign(2 * A, 0);
+    for (usize j = 0; j < A; ++j) {
+      hist[2 * order[j]] = lb_s[j];
+      hist[2 * order[j] + 1] = ub_s[j];
     }
-    res.probes_total += active.size();
-    comm.charge_binary_search(n_local, 2 * active.size());
+    res.probes_total += A;
+    comm.charge_control_sort(A);
+    comm.charge_batched_search(n_local, 2 * A);
 
     // Global histogram: one allreduce (line 8).
     ghist.assign(hist.size(), 0);

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/radix_sort.h"
 
 namespace hds::net {
 
@@ -61,6 +62,20 @@ CalibrationResult measure_host_constants(usize elements) {
     if (acc == 0x123456789abcdefULL) cal.scan_s_per_elem += 1e-18;
   }
   {
+    // Radix kernel: full-range u64 keys execute all 8 passes, so the
+    // per-element-per-pass constant is t / (n * passes) after deducting the
+    // histogram-building read the cost model charges separately as a scan.
+    auto data = base;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::RadixSortStats st = core::radix_sort_keys(data);
+    const double t = seconds_since(t0);
+    const double passes = static_cast<double>(
+        st.passes_executed > 0 ? st.passes_executed : st.passes_planned);
+    cal.radix_s_per_elem_pass =
+        std::max(1e-12, (t - cal.scan_s_per_elem * n) / (n * passes));
+    HDS_CHECK(std::is_sorted(data.begin(), data.end()));
+  }
+  {
     auto data = base;
     std::sort(data.begin(), data.end());
     const usize probes = 4096;
@@ -80,6 +95,10 @@ CalibrationResult measure_host_constants(usize elements) {
 void apply_calibration(MachineModel& machine, const CalibrationResult& cal) {
   HDS_CHECK(cal.sort_s_per_elem_log > 0.0);
   machine.sort_s_per_elem_log = cal.sort_s_per_elem_log;
+  // Older CalibrationResult literals may not carry a radix measurement;
+  // keep the model default in that case.
+  if (cal.radix_s_per_elem_pass > 0.0)
+    machine.radix_s_per_elem_pass = cal.radix_s_per_elem_pass;
   machine.merge_s_per_elem = cal.merge_s_per_elem;
   machine.partition_s_per_elem = cal.partition_s_per_elem;
   machine.scan_s_per_elem = cal.scan_s_per_elem;

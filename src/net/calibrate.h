@@ -11,6 +11,7 @@ namespace hds::net {
 
 struct CalibrationResult {
   double sort_s_per_elem_log = 0.0;
+  double radix_s_per_elem_pass = 0.0;
   double merge_s_per_elem = 0.0;
   double partition_s_per_elem = 0.0;
   double scan_s_per_elem = 0.0;

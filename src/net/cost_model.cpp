@@ -184,6 +184,12 @@ double CostModel::sort(usize n) const {
   return m <= 1.0 ? 0.0 : machine_.sort_s_per_elem_log * m * log2d(m);
 }
 
+double CostModel::radix_sort(usize n, usize passes) const {
+  const double m = scaled(n);
+  return machine_.radix_s_per_elem_pass * m * static_cast<double>(passes) +
+         machine_.scan_s_per_elem * m;  // the one histogram-building read
+}
+
 double CostModel::merge_pass(usize n) const {
   return machine_.merge_s_per_elem * scaled(n);
 }
@@ -210,6 +216,15 @@ double CostModel::binary_search(usize n, usize probes) const {
   const double m = std::max(scaled(n), 2.0);
   return machine_.binsearch_s_per_step * static_cast<double>(probes) *
          log2d(m);
+}
+
+double CostModel::batched_search(usize n, usize probes) const {
+  if (probes == 0) return 0.0;
+  const double m = std::max(scaled(n), 2.0);
+  const double per = log2d(m / static_cast<double>(probes) + 2.0);
+  const double batched =
+      machine_.binsearch_s_per_step * static_cast<double>(probes) * per;
+  return std::min(batched, binary_search(n, probes));
 }
 
 }  // namespace hds::net

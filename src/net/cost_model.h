@@ -68,12 +68,20 @@ class CostModel {
 
   // --- computation costs (seconds), all using scaled element counts --------
   double sort(usize n) const;
+  /// LSD radix sort that executed `passes` scatter passes over n elements
+  /// (skipped trivial-digit passes are not charged) plus the single
+  /// histogram-building read.
+  double radix_sort(usize n, usize passes) const;
   double merge_pass(usize n) const;
   double kway_heap_merge(usize n, usize k) const;
   double partition(usize n) const;
   double linear_scan(usize n) const;
   /// `probes` binary searches over a local array of n elements.
   double binary_search(usize n, usize probes) const;
+  /// `probes` ASCENDING probes answered by one narrowing forward sweep
+  /// (core::batched_counts): each search spans ~n/probes elements. Never
+  /// charged above the independent-searches cost.
+  double batched_search(usize n, usize probes) const;
 
  private:
   /// Tree-stage latency and inverse bandwidth blended over intra/inter-node

@@ -48,6 +48,12 @@ struct MachineModel {
   // Calibrated to single-threaded icc-era Haswell throughputs (std::sort of
   // 1M random u64 in ~45 ms, ~35 M elements/s merges).
   double sort_s_per_elem_log = 1.8e-9;    ///< introsort: t = k * n * log2 n
+  /// One 8-bit-digit radix scatter pass: t = k * n * passes (plus one
+  /// histogram read charged as a linear scan). Roughly memory-bound, so it
+  /// sits between the scan and merge constants; net/calibrate.cpp measures
+  /// it next to the introsort constant, and the Auto kernel crossover
+  /// (core/local_sort.h) is derived from the ratio of the two.
+  double radix_s_per_elem_pass = 1.2e-9;
   double merge_s_per_elem = 2.0e-9;       ///< one binary-merge pass
   double heap_merge_s_per_elem_log = 0.9e-9;  ///< tournament tree per level
   /// Beyond this many runs a k-way merge's working set of run heads falls

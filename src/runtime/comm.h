@@ -89,6 +89,13 @@ class Comm {
   // --- computation charges --------------------------------------------------
   void charge_seconds(double s) { clock().advance(s); }
   void charge_sort(usize n) { clock().advance(cost().sort(n)); }
+  /// Radix kernel: `passes` executed scatter passes; `pairs` adds one
+  /// merge-pass-equivalent for materializing/permuting (key, value) pairs
+  /// on the record path.
+  void charge_radix_sort(usize n, usize passes, bool pairs = false) {
+    clock().advance(cost().radix_sort(n, passes) +
+                    (pairs ? cost().merge_pass(n) : 0.0));
+  }
   void charge_merge_pass(usize n) { clock().advance(cost().merge_pass(n)); }
   void charge_kway_merge(usize n, usize k) {
     clock().advance(cost().kway_heap_merge(n, k));
@@ -97,6 +104,11 @@ class Comm {
   void charge_scan(usize n) { clock().advance(cost().linear_scan(n)); }
   void charge_binary_search(usize n, usize probes) {
     clock().advance(cost().binary_search(n, probes));
+  }
+  /// Ascending probes answered by one narrowing forward sweep
+  /// (core::batched_counts).
+  void charge_batched_search(usize n, usize probes) {
+    clock().advance(cost().batched_search(n, probes));
   }
   /// Control-plane computation charges: sizes that do NOT grow with the
   /// modelled data volume (splitter vectors, sample pools, permutation
