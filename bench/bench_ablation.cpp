@@ -26,6 +26,11 @@ struct RunResult {
   usize iterations;
 };
 
+// Set once in main; lets run_sort honour --trace without threading the
+// argument through every ablation call site. The trace file ends up holding
+// the last configuration run.
+const bench::Args* g_args = nullptr;
+
 RunResult run_sort(int nodes, int rpn, u64 model_keys, u64 real_keys,
                    core::SortConfig scfg, bool shortcut) {
   runtime::TeamConfig cfg;
@@ -34,6 +39,7 @@ RunResult run_sort(int nodes, int rpn, u64 model_keys, u64 real_keys,
   cfg.machine.intra_node_shortcut = shortcut;
   cfg.data_scale =
       static_cast<double>(model_keys) / static_cast<double>(real_keys);
+  cfg.trace = g_args != nullptr && g_args->has("trace");
   Team team(cfg);
   workload::GenConfig gen;
   gen.seed = 11;
@@ -44,6 +50,7 @@ RunResult run_sort(int nodes, int rpn, u64 model_keys, u64 real_keys,
     const auto st = core::sort(c, local, scfg);
     if (c.rank() == 0) iters = st.histogram_iterations;
   });
+  if (g_args != nullptr) bench::write_trace_if_requested(*g_args, team);
   return {team.stats().makespan_s, iters};
 }
 
@@ -52,6 +59,7 @@ RunResult run_sort(int nodes, int rpn, u64 model_keys, u64 real_keys,
 int main(int argc, char** argv) {
   using namespace hds;
   const bench::Args args(argc, argv);
+  g_args = &args;
   const int nodes = static_cast<int>(args.get_int("nodes", 16));
   const int rpn = static_cast<int>(args.get_int("ranks-per-node", 16));
   const u64 model_keys = args.get_int("model-keys", u64{1} << 28);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -14,6 +15,7 @@
 #include "common/table.h"
 #include "common/types.h"
 #include "net/machine.h"
+#include "obs/report.h"
 #include "runtime/comm.h"
 #include "runtime/team.h"
 
@@ -66,6 +68,25 @@ Summary measure(int reps, RunFn run, bool warmup = false) {
   times.reserve(reps);
   for (int r = 0; r < reps; ++r) times.push_back(run(r));
   return summarize(std::move(times));
+}
+
+/// `--trace[=out.json]` support: writes the Chrome trace of the team's most
+/// recent run (benches call this once per scale point, so the file ends up
+/// holding the last — largest — configuration) and prints the communication
+/// matrix summary. No-op without the flag or when tracing was off.
+inline void write_trace_if_requested(const Args& args,
+                                     const runtime::Team& team) {
+  if (!args.has("trace")) return;
+  const obs::TraceReport* trace = team.trace();
+  if (trace == nullptr) return;
+  // A bare "--trace" parses as value "1"; fall back to a real filename.
+  std::string path = args.get_string("trace", "trace.json");
+  if (path == "1") path = "trace.json";
+  std::ofstream out(path);
+  trace->write_chrome_json(out);
+  std::cerr << "  trace: " << trace->total_events() << " events ("
+            << trace->nranks << " ranks) -> " << path << "\n"
+            << trace->comm_matrix().summary() << "\n";
 }
 
 /// Node counts 1, 2, 4, ..., max (the paper's strong/weak scaling x-axis).

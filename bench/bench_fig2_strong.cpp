@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     cfg.machine = net::MachineModel::supermuc_phase2(nodes, rpn);
     cfg.data_scale = static_cast<double>(model_keys) /
                      static_cast<double>(real_keys);
+    cfg.trace = args.has("trace");
 
     Row row;
     row.nodes = nodes;
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
               team.stats().phase_fraction(static_cast<net::Phase>(p));
         return team.stats().makespan_s;
       });
+      bench::write_trace_if_requested(args, team);
     }
     {
       Team team(cfg);

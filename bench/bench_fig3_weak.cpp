@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     cfg.machine = net::MachineModel::supermuc_phase2(nodes, rpn);
     cfg.data_scale = static_cast<double>(model_per_rank) /
                      static_cast<double>(real_per_rank);
+    cfg.trace = args.has("trace");
 
     Row row;
     row.nodes = nodes;
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
               team.stats().phase_fraction(static_cast<net::Phase>(p));
         return team.stats().makespan_s;
       });
+      bench::write_trace_if_requested(args, team);
     }
     {
       Team team(cfg);

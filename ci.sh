@@ -49,6 +49,40 @@ print(f"perf smoke OK: radix {speedup:.2f}x faster than std::sort "
       "(u64, n=2^20)")
 PYEOF
 
+# Trace smoke: a traced quickstart run must produce Chrome trace JSON whose
+# per-rank slice durations reconcile exactly (<= 1e-9 relative) with the
+# SimClock phase sums the runtime reports — the invariant the obs layer is
+# built on (DESIGN.md sec. 9).
+echo "=== trace smoke: quickstart --trace ==="
+(cd build-ci-relwithdebinfo &&
+  ./examples/quickstart --ranks=8 --keys-per-rank=20000 \
+    --trace=trace_smoke.json >/dev/null)
+python3 - build-ci-relwithdebinfo/trace_smoke.json <<'PYEOF'
+import json, sys
+from collections import defaultdict
+d = json.load(open(sys.argv[1]))
+hds = d["hds"]
+P = hds["ranks"]
+phases = hds["phases"]
+assert P == 8, f"expected 8 ranks, got {P}"
+slices = [e for e in d["traceEvents"] if e.get("ph") == "X"]
+assert slices, "no complete events in trace"
+assert {e["tid"] for e in slices} == set(range(P)), "missing rank tracks"
+assert {e["cat"] for e in slices} <= set(phases), "unknown phase category"
+sums = [defaultdict(float) for _ in range(P)]
+for e in slices:
+    sums[e["tid"]][e["cat"]] += e["dur"] / 1e6
+worst = 0.0
+for r in range(P):
+    for p, name in enumerate(phases):
+        clock = hds["clock_phase_seconds"][r][p]
+        err = abs(sums[r][name] - clock) / max(1.0, abs(clock))
+        worst = max(worst, err)
+assert worst <= 1e-9, f"trace/clock mismatch: rel err {worst}"
+print(f"trace smoke OK: {len(slices)} slices over {P} ranks, "
+      f"worst reconciliation error {worst:.2e}")
+PYEOF
+
 # TSan wants debug info and no aggressive inlining to produce usable
 # reports; RelWithDebInfo (-O2 -g) is the supported sweet spot. Benchmarks
 # are excluded — they only add build time and measure nothing under TSan.

@@ -8,9 +8,12 @@
 // keeps its original element count (perfect partitioning).
 //
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
+//               [--trace=trace.json]
+#include <fstream>
 #include <iostream>
 
 #include "core/histogram_sort.h"
+#include "obs/report.h"
 #include "runtime/team.h"
 #include "workload/distributions.h"
 
@@ -19,15 +22,17 @@ int main(int argc, char** argv) {
   int ranks = 8;
   usize keys_per_rank = 100000;
   double epsilon = 0.0;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--ranks=", 0) == 0) ranks = std::stoi(arg.substr(8));
     if (arg.rfind("--keys-per-rank=", 0) == 0)
       keys_per_rank = std::stoul(arg.substr(16));
     if (arg.rfind("--epsilon=", 0) == 0) epsilon = std::stod(arg.substr(10));
+    if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
   }
 
-  runtime::Team team({.nranks = ranks});
+  runtime::Team team({.nranks = ranks, .trace = !trace_path.empty()});
 
   team.run([&](runtime::Comm& comm) {
     // 1. Each rank owns a local partition — here: random 64-bit keys.
@@ -67,5 +72,13 @@ int main(int argc, char** argv) {
   });
 
   std::cout << "simulated makespan: " << team.stats().makespan_s << " s\n";
+
+  if (const obs::TraceReport* trace = team.trace()) {
+    std::ofstream out(trace_path);
+    trace->write_chrome_json(out);
+    std::cout << "wrote Chrome trace (" << trace->total_events()
+              << " events) to " << trace_path << "\n"
+              << trace->comm_matrix().summary() << "\n";
+  }
   return 0;
 }

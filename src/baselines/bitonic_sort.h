@@ -65,6 +65,9 @@ BitonicStats bitonic_sort(
       const std::vector<T> theirs = comm.recv<T>(partner, stats.rounds);
       HDS_CHECK(theirs.size() == n);
 
+      // The pairwise merge is compute, not data movement: attribute it to
+      // Merge so the Exchange column shows only the O(log^2 P) transfers.
+      net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
       std::merge(local.begin(), local.end(), theirs.begin(), theirs.end(),
                  merged.begin());
       comm.charge_merge_pass(2 * n);

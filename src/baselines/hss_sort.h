@@ -229,6 +229,7 @@ HssStats hss_sort(runtime::Comm& comm, std::vector<T>& local,
                    [](u64 a, u64 b) { return a + b; });
 
     std::vector<usize> still_active;
+    double round_err = 0.0;  // max relative boundary error, as multiselect
     for (usize a = 0; a < active.size(); ++a) {
       const usize b = active[a];
       Range& r = ranges[b];
@@ -244,15 +245,22 @@ HssStats hss_sort(runtime::Comm& comm, std::vector<T>& local,
         result.global_ub[b] = U;
         result.boundary[b] = std::clamp(K, L, U);
       } else if (L >= K + window) {
+        round_err = std::max(round_err, static_cast<double>(L - K) /
+                                            static_cast<double>(N));
         r.hi = probes[a];
         still_active.push_back(b);
       } else {
+        round_err = std::max(round_err, static_cast<double>(K - U) /
+                                            static_cast<double>(N));
         r.lo = probes[a];
         still_active.push_back(b);
       }
     }
+    comm.metrics().append(obs::Series::HistogramConvergence, round_err);
     active.swap(still_active);
   }
+  comm.metrics().add(obs::Counter::HistogramIterations, stats.rounds);
+  comm.metrics().add(obs::Counter::SplitterProbes, stats.probes_total);
 
   for (usize b = 1; b < B; ++b)
     result.boundary[b] = std::max(result.boundary[b], result.boundary[b - 1]);

@@ -70,9 +70,14 @@ HyksortStats hyksort(runtime::Comm& comm, std::vector<T>& local,
     const int sub = P / k;  // ranks per subgroup
 
     // Global targets: split the group's keys into k equal buckets scaled to
-    // the subgroup capacities.
-    const u64 N = group.allreduce_value<u64>(
-        local.size(), [](u64 a, u64 b) { return a + b; });
+    // the subgroup capacities. The size reduction is part of splitter
+    // determination, so it counts as Histogram, not Other.
+    u64 N = 0;
+    {
+      net::PhaseScope phase(group.clock(), net::Phase::Histogram);
+      N = group.allreduce_value<u64>(local.size(),
+                                     [](u64 a, u64 b) { return a + b; });
+    }
     std::vector<usize> targets(k - 1);
     for (int b = 0; b + 1 < k; ++b)
       targets[b] = static_cast<usize>(
@@ -87,21 +92,23 @@ HyksortStats hyksort(runtime::Comm& comm, std::vector<T>& local,
 
     // Cut local data into k buckets; bucket g goes to subgroup g, spread so
     // rank (g0, j) sends to rank (g, j) — the hypercube-style personalized
-    // exchange with k peers.
-    const std::vector<usize> cuts =
-        core::compute_boundary_cuts(group, local.size(), sp);
-    std::vector<usize> send(P, 0);
-    const int j = group.rank() % sub;  // my index within my subgroup
-    usize prev = 0;
-    for (int g = 0; g < k; ++g) {
-      const usize cut = (g + 1 < k) ? cuts[g] : local.size();
-      send[g * sub + j] = cut - prev;
-      prev = cut;
-    }
+    // exchange with k peers. Boundary-cut resolution (two control
+    // alltoalls) and bucketing belong to the data movement.
     std::vector<usize> recv_counts;
     std::vector<T> received;
     {
       net::PhaseScope phase(group.clock(), net::Phase::Exchange);
+      const std::vector<usize> cuts =
+          core::compute_boundary_cuts(group, local.size(), sp);
+      std::vector<usize> send(P, 0);
+      const int j = group.rank() % sub;  // my index within my subgroup
+      usize prev = 0;
+      for (int g = 0; g < k; ++g) {
+        const usize cut = (g + 1 < k) ? cuts[g] : local.size();
+        send[g * sub + j] = cut - prev;
+        prev = cut;
+      }
+      core::note_exchange_metrics(group, send, sizeof(T));
       received = group.alltoallv(
           std::span<const T>(local.data(), local.size()), send, &recv_counts);
     }
@@ -110,8 +117,12 @@ HyksortStats hyksort(runtime::Comm& comm, std::vector<T>& local,
     local = std::move(received);
 
     // Descend into my subgroup (the communicator split the paper's
-    // Sec. III-C charges against this algorithm).
-    group = group.split(group.rank() / sub, group.rank() % sub);
+    // Sec. III-C charges against this algorithm). The blocking O(P) split
+    // is part of restructuring the exchange, so it counts as Exchange.
+    {
+      net::PhaseScope phase(group.clock(), net::Phase::Exchange);
+      group = group.split(group.rank() / sub, group.rank() % sub);
+    }
   }
 
   stats.elements_after = local.size();

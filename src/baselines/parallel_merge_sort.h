@@ -94,6 +94,10 @@ PMergeSortStats parallel_merge_sort(runtime::Comm& comm,
   }
 
   // --- real execution: serial merge tree over uncharged handoffs ----------
+  // The handoffs and the final redistribution are part of the modelled
+  // merge: their collectives (and any recv-side clock sync) belong to the
+  // Merge phase, not Other.
+  net::PhaseScope real_phase(comm.clock(), net::Phase::Merge);
   if (core::resolve_local_sort_kernel<T>(machine, local.size(), cfg.kernel) ==
       core::LocalSortKernel::Radix) {
     core::radix_sort_keys(local);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/exchange.h"
 #include "core/key_traits.h"
 #include "core/local_sort.h"
 #include "core/merge.h"
@@ -106,6 +107,7 @@ SampleSortStats sample_sort(runtime::Comm& comm, std::vector<T>& local,
     }
     send[P - 1] = local.size() - prev;
     comm.charge_binary_search(local.size(), P - 1);
+    core::note_exchange_metrics(comm, send, sizeof(T));
     received = comm.alltoallv(std::span<const T>(local.data(), local.size()),
                               send, &recv_counts);
   }
@@ -117,6 +119,9 @@ SampleSortStats sample_sort(runtime::Comm& comm, std::vector<T>& local,
 
   SampleSortStats stats;
   stats.elements_after = local.size();
+  // Imbalance verification reductions: part of assessing the sampling
+  // quality, so they count as Histogram, not Other.
+  net::PhaseScope stats_phase(comm.clock(), net::Phase::Histogram);
   const u64 N =
       comm.allreduce_value<u64>(local.size(), [](u64 a, u64 b) { return a + b; });
   const u64 max_n = comm.allreduce_value<u64>(

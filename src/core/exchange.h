@@ -101,6 +101,32 @@ std::vector<usize> compute_send_counts(runtime::Comm& comm, usize n_local,
   return send;
 }
 
+/// Emit this rank's exchange volume into the metrics registry: payload
+/// bytes to same-node peers, bytes to off-node peers, and the elements
+/// whose destination is the local rank. `elem_bytes` is sizeof(T) of the
+/// exchanged records. Called by every exchange variant so the on/off-node
+/// split is comparable across them.
+inline void note_exchange_metrics(runtime::Comm& comm,
+                                  std::span<const usize> send,
+                                  usize elem_bytes) {
+  auto& m = comm.metrics();
+  const auto& machine = comm.machine();
+  const rank_t me = comm.world_rank();
+  u64 on_node = 0, off_node = 0;
+  for (int d = 0; d < comm.size(); ++d) {
+    if (d == comm.rank()) continue;
+    const u64 b = static_cast<u64>(send[static_cast<usize>(d)]) * elem_bytes;
+    if (machine.same_node(me, comm.world_rank_of(d)))
+      on_node += b;
+    else
+      off_node += b;
+  }
+  m.add(obs::Counter::ExchangeBytesOnNode, on_node);
+  m.add(obs::Counter::ExchangeBytesOffNode, off_node);
+  m.add(obs::Counter::ExchangeElementsKept,
+        send[static_cast<usize>(comm.rank())]);
+}
+
 /// Full data exchange: computes send counts and runs the ALL-TO-ALLV.
 /// `sorted_local` must be the locally sorted input used by find_splitters.
 template <class T, class UK>
@@ -114,6 +140,7 @@ ExchangeResult<T> exchange(runtime::Comm& comm,
   out.elements_kept = send[comm.rank()];
   for (int d = 0; d < comm.size(); ++d)
     if (d != comm.rank()) out.elements_sent_off_rank += send[d];
+  note_exchange_metrics(comm, send, sizeof(T));
   out.data = comm.alltoallv(sorted_local, send, &out.recv_counts);
   return out;
 }
@@ -146,6 +173,7 @@ ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
   out.elements_kept = send[comm.rank()];
   for (int d = 0; d < P; ++d)
     if (d != comm.rank()) out.elements_sent_off_rank += send[d];
+  note_exchange_metrics(comm, send, sizeof(T));
 
   // Buckets in flight: per destination, a list of sorted runs.
   std::vector<std::vector<T>> bucket(P);
@@ -236,6 +264,7 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
   out.elements_kept = send[comm.rank()];
   for (int d = 0; d < P; ++d)
     if (d != comm.rank()) out.elements_sent_off_rank += send[d];
+  note_exchange_metrics(comm, send, sizeof(T));
 
   const int my_node = machine.node_of(comm.world_rank());
   runtime::Comm node = comm.split(my_node, comm.rank());
@@ -459,6 +488,7 @@ ExchangeResult<T> exchange_one_factor(runtime::Comm& comm,
   std::vector<usize> offsets(P + 1, 0);
   for (int d = 0; d < P; ++d) offsets[d + 1] = offsets[d] + send[d];
   out.elements_kept = send[comm.rank()];
+  note_exchange_metrics(comm, send, sizeof(T));
 
   auto less = [&](const T& a, const T& b) { return key(a) < key(b); };
   std::vector<T> acc(sorted_local.begin() + offsets[comm.rank()],

@@ -62,6 +62,11 @@ struct SortStats {
   usize elements_sent_off_rank = 0;  ///< this rank's off-rank sends
   usize elements_before = 0;
   usize elements_after = 0;
+  /// Per-round max relative boundary error of the splitter search (one
+  /// entry per histogram round, identical on every rank) — lets the
+  /// convergence curve of the paper's Table 3 be plotted, not just the
+  /// final iteration count.
+  std::vector<double> histogram_convergence;
 };
 
 /// Sort a distributed vector by a key projection with an explicit output
@@ -120,6 +125,7 @@ SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
       std::span<const usize>(targets), mcfg);
   stats.histogram_iterations = splitters.iterations;
   stats.splitter_probes = splitters.probes_total;
+  stats.histogram_convergence = splitters.convergence;
 
   // Superstep 3: data exchange.
   const std::span<const T> sorted_view(local.data(), local.size());
@@ -220,6 +226,9 @@ SortStats sort_resilient(runtime::Team& team,
     agg.elements_sent_off_rank += s.elements_sent_off_rank;
     agg.elements_before += s.elements_before;
     agg.elements_after += s.elements_after;
+    // The convergence series is a global quantity, identical on all ranks.
+    if (agg.histogram_convergence.empty())
+      agg.histogram_convergence = s.histogram_convergence;
   }
   return agg;
 }

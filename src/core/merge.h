@@ -125,7 +125,14 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
                   LocalSortKernel kernel = LocalSortKernel::Auto) {
   net::PhaseScope phase(comm.clock(), net::Phase::Merge);
   const usize n = data.size();
-  auto less = [&](const T& a, const T& b) { return key(a) < key(b); };
+  // Comparator invocations feed the MergeComparisons counter for the
+  // comparison-based strategies; the Sort strategy's radix path does no
+  // comparisons, so it emits nothing.
+  u64 comparisons = 0;
+  auto less = [&](const T& a, const T& b) {
+    ++comparisons;
+    return key(a) < key(b);
+  };
 
   usize nonempty = 0;
   for (usize c : counts)
@@ -172,6 +179,7 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
         std::swap(src, dst);
       }
       if (src != &data) data.swap(buf);
+      comm.metrics().add(obs::Counter::MergeComparisons, comparisons);
       return;
     }
     case MergeStrategy::Tournament: {
@@ -192,6 +200,7 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
       HDS_CHECK(out.size() == n);
       data.swap(out);
       comm.charge_kway_merge(n, nonempty);
+      comm.metrics().add(obs::Counter::MergeComparisons, comparisons);
       return;
     }
   }

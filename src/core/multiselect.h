@@ -63,6 +63,10 @@ struct SplitterResult {
   std::vector<usize> global_ub; ///< sum of local_ub over ranks (U_b)
   usize iterations = 0;         ///< histogram rounds until convergence
   usize probes_total = 0;       ///< total splitter probes over all rounds
+  /// Per-round max over unresolved boundaries of the relative rank error
+  /// |achieved - target| / N (0.0 in the round that resolves the last
+  /// boundary) — the convergence curve behind the paper's Table 3.
+  std::vector<double> convergence;
 };
 
 namespace detail {
@@ -308,6 +312,7 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
                    [](u64 a, u64 b) { return a + b; });
 
     // Validate each splitter (Alg. 2, with the epsilon window).
+    double round_err = 0.0;
     std::vector<usize> still_active;
     for (usize a = 0; a < active.size(); ++a) {
       const usize b = active[a];
@@ -331,6 +336,12 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
         res.boundary[b] = std::clamp(KT, L, U);
         continue;
       }
+      // Unresolved boundary: distance of the achievable rank interval
+      // [L, U] from the target, relative to N (a global quantity — L, U,
+      // KT, N are identical on every rank, so the series is too).
+      const usize miss = (L >= KT + window) ? L - KT : KT - U;
+      round_err = std::max(
+          round_err, static_cast<double>(miss) / static_cast<double>(N));
       if (L >= KT + window) {
         // Too many keys below the probe: move the upper bound down.
         s.cand_hi = probe;
@@ -353,9 +364,13 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
       }
       still_active.push_back(b);
     }
+    res.convergence.push_back(round_err);
+    comm.metrics().append(obs::Series::HistogramConvergence, round_err);
     active.swap(still_active);
     comm.charge_control_scan(B);  // splitter validation pass
   }
+  comm.metrics().add(obs::Counter::HistogramIterations, res.iterations);
+  comm.metrics().add(obs::Counter::SplitterProbes, res.probes_total);
 
   // Boundaries must be non-decreasing for the exchange to produce
   // contiguous send ranges (ties were resolved toward their targets).

@@ -32,6 +32,17 @@ constexpr std::string_view phase_name(Phase p) {
   return "?";
 }
 
+/// Observer of clock advances. The observability layer installs one per
+/// rank (obs::RankTracer) when tracing is enabled, so every charged or
+/// synchronized interval of virtual time is visible as [t0, t1] in the
+/// phase it was attributed to. No sink is installed when tracing is off —
+/// the hot path then pays one null-pointer test per advance.
+class AdvanceSink {
+ public:
+  virtual ~AdvanceSink() = default;
+  virtual void on_advance(Phase p, double t0, double t1) = 0;
+};
+
 /// Per-rank virtual clock with phase attribution.
 class SimClock {
  public:
@@ -40,11 +51,17 @@ class SimClock {
   Phase phase() const { return phase_; }
   void set_phase(Phase p) { phase_ = p; }
 
+  /// Install (or clear, with nullptr) the advance observer. Owned by the
+  /// caller; must outlive every subsequent advance.
+  void set_sink(AdvanceSink* sink) { sink_ = sink; }
+
   /// Advance local time by dt seconds, attributing it to the current phase.
   void advance(double dt) {
     HDS_ASSERT(dt >= 0.0);
+    const double t0 = now_s_;
     now_s_ += dt;
     phase_s_[static_cast<usize>(phase_)] += dt;
+    if (sink_) sink_->on_advance(phase_, t0, now_s_);
   }
 
   /// Jump to an absolute time (used when leaving a collective); the wait is
@@ -68,6 +85,7 @@ class SimClock {
   double now_s_ = 0.0;
   std::array<double, kPhaseCount> phase_s_{};
   Phase phase_ = Phase::Other;
+  AdvanceSink* sink_ = nullptr;
 };
 
 /// RAII phase scope: attributes all charges inside the scope to `p`.

@@ -1,0 +1,91 @@
+// hds::obs event vocabulary — the operation ids shared by the runtime's
+// communication layer (progress ledger, fault plans, collective-mismatch
+// reports) and the tracer. Keeping the enum here lets the observability
+// layer name ops without depending on runtime headers; runtime/comm.h
+// aliases `detail::OpId = obs::OpKind` so existing fault-plan op ids keep
+// their numeric values.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+#include "net/cost_model.h"
+#include "net/sim.h"
+
+namespace hds::obs {
+
+enum class OpKind : u32 {
+  None = 0,
+  Barrier = 1,
+  Broadcast,
+  Allreduce,
+  Allgather,
+  Allgatherv,
+  Gatherv,
+  Alltoall,
+  Alltoallv,
+  Exscan,
+  Scan,
+  Split,
+  // Point-to-point ops: never published into a collective slot, but they
+  // share the id space so fault plans and the watchdog dump can name them.
+  Send,
+  Recv,
+  /// Tracer-only pseudo-op: a charged local-computation slice between
+  /// communication ops. Never passes through Comm::note_op, so fault-plan
+  /// op ids are unaffected.
+  Compute,
+};
+
+constexpr std::string_view op_kind_name(OpKind op) {
+  switch (op) {
+    case OpKind::None: return "none";
+    case OpKind::Barrier: return "Barrier";
+    case OpKind::Broadcast: return "Broadcast";
+    case OpKind::Allreduce: return "Allreduce";
+    case OpKind::Allgather: return "Allgather";
+    case OpKind::Allgatherv: return "Allgatherv";
+    case OpKind::Gatherv: return "Gatherv";
+    case OpKind::Alltoall: return "Alltoall";
+    case OpKind::Alltoallv: return "Alltoallv";
+    case OpKind::Exscan: return "Exscan";
+    case OpKind::Scan: return "Scan";
+    case OpKind::Split: return "Split";
+    case OpKind::Send: return "Send";
+    case OpKind::Recv: return "Recv";
+    case OpKind::Compute: return "compute";
+  }
+  return "?";
+}
+
+/// One slice of a rank's virtual timeline: either a communication op
+/// ([entry, exit] including the wait for the collective's common exit time)
+/// or a coalesced computation slice between ops. Every SimClock advance of
+/// a traced rank lands in exactly one event, so per-phase sums over events
+/// reconcile with SimClock::phase_seconds.
+struct TraceEvent {
+  OpKind op = OpKind::None;
+  net::Phase phase = net::Phase::Other;
+  net::Traffic traffic = net::Traffic::Control;
+  double t0 = 0.0;  ///< virtual start (seconds)
+  double t1 = 0.0;  ///< virtual end (seconds)
+  u64 bytes = 0;    ///< payload bytes this rank contributed (received, for Recv)
+  u64 tag = 0;      ///< P2P tag (Send/Recv only)
+  i32 peer = -1;    ///< world rank of root/partner, -1 if none
+  u32 detail_off = 0;    ///< first (peer, bytes) pair in the detail array
+  u32 detail_count = 0;  ///< number of (peer, bytes) pairs
+};
+
+/// Entry of the always-on ring of recent ops, kept for the watchdog's abort
+/// dump even when full tracing is disabled.
+struct RingEntry {
+  u64 seq = 0;  ///< 0-based index of this op within the run
+  OpKind op = OpKind::None;
+  net::Phase phase = net::Phase::Other;
+  double t = 0.0;  ///< rank's SimClock at op entry
+  u64 bytes = 0;
+  u64 tag = 0;
+  i32 peer = -1;
+};
+
+}  // namespace hds::obs

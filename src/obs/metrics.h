@@ -1,0 +1,82 @@
+// Typed per-rank counter/series registry. Algorithms emit named quantities
+// (histogram iterations, exchange bytes on/off node, merge comparisons)
+// through Comm::metrics() instead of growing ad-hoc fields on result
+// structs; the Team owns one registry per rank and resets them each run.
+// Counters are plain per-rank integers written only by the owning rank's
+// thread — reading them is only defined after Team::run returns.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hds::obs {
+
+enum class Counter : u8 {
+  HistogramIterations = 0,  ///< splitter-refinement rounds executed
+  SplitterProbes,           ///< candidate splitters evaluated across rounds
+  ExchangeBytesOnNode,   ///< payload bytes sent to other ranks on this node
+  ExchangeBytesOffNode,  ///< payload bytes sent to ranks on other nodes
+  ExchangeElementsKept,  ///< elements whose destination is the local rank
+  /// Comparator invocations of the final k-way merge. Only emitted by the
+  /// comparison-based strategies (BinaryTree, Tournament); the Sort
+  /// strategy's radix path does no comparisons.
+  MergeComparisons,
+};
+inline constexpr usize kCounterCount = 6;
+
+constexpr std::string_view counter_name(Counter c) {
+  switch (c) {
+    case Counter::HistogramIterations: return "histogram_iterations";
+    case Counter::SplitterProbes: return "splitter_probes";
+    case Counter::ExchangeBytesOnNode: return "exchange_bytes_on_node";
+    case Counter::ExchangeBytesOffNode: return "exchange_bytes_off_node";
+    case Counter::ExchangeElementsKept: return "exchange_elements_kept";
+    case Counter::MergeComparisons: return "merge_comparisons";
+  }
+  return "?";
+}
+
+enum class Series : u8 {
+  /// One value per histogram round: max over unresolved splitter boundaries
+  /// of the relative rank error |achieved - target| / N (0.0 once every
+  /// boundary is within its tolerance window). The convergence curve of
+  /// the paper's Table 3.
+  HistogramConvergence = 0,
+};
+inline constexpr usize kSeriesCount = 1;
+
+constexpr std::string_view series_name(Series s) {
+  switch (s) {
+    case Series::HistogramConvergence: return "histogram_convergence";
+  }
+  return "?";
+}
+
+class Metrics {
+ public:
+  void add(Counter c, u64 v) { counters_[static_cast<usize>(c)] += v; }
+  u64 value(Counter c) const { return counters_[static_cast<usize>(c)]; }
+  const std::array<u64, kCounterCount>& counters() const { return counters_; }
+
+  void append(Series s, double v) {
+    series_[static_cast<usize>(s)].push_back(v);
+  }
+  std::span<const double> series(Series s) const {
+    return series_[static_cast<usize>(s)];
+  }
+
+  void reset() {
+    counters_.fill(0);
+    for (auto& s : series_) s.clear();
+  }
+
+ private:
+  std::array<u64, kCounterCount> counters_{};
+  std::array<std::vector<double>, kSeriesCount> series_{};
+};
+
+}  // namespace hds::obs

@@ -1,0 +1,216 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace hds::obs {
+
+u64 CommMatrix::row_sum(int src, bool include_self) const {
+  u64 s = 0;
+  for (int dst = 0; dst < nranks; ++dst)
+    if (include_self || dst != src) s += at(src, dst);
+  return s;
+}
+
+u64 CommMatrix::total(bool include_self) const {
+  u64 s = 0;
+  for (int src = 0; src < nranks; ++src) s += row_sum(src, include_self);
+  return s;
+}
+
+double CommMatrix::mean_row() const {
+  if (nranks == 0) return 0.0;
+  return static_cast<double>(total()) / nranks;
+}
+
+double CommMatrix::max_over_mean() const {
+  const double mean = mean_row();
+  if (mean <= 0.0) return 1.0;
+  u64 mx = 0;
+  for (int src = 0; src < nranks; ++src)
+    mx = std::max(mx, row_sum(src));
+  return static_cast<double>(mx) / mean;
+}
+
+double CommMatrix::gini() const {
+  if (nranks == 0) return 0.0;
+  const double mean = mean_row();
+  if (mean <= 0.0) return 0.0;
+  // G = sum_ij |x_i - x_j| / (2 n^2 mu), computed from the sorted rows as
+  // G = (2 sum_i (i+1) x_(i) / (n sum x)) - (n+1)/n.
+  std::vector<double> rows(static_cast<usize>(nranks));
+  for (int src = 0; src < nranks; ++src)
+    rows[static_cast<usize>(src)] = static_cast<double>(row_sum(src));
+  std::sort(rows.begin(), rows.end());
+  double weighted = 0.0, sum = 0.0;
+  for (usize i = 0; i < rows.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * rows[i];
+    sum += rows[i];
+  }
+  const double n = static_cast<double>(nranks);
+  return 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+}
+
+std::string CommMatrix::summary() const {
+  std::ostringstream os;
+  os << "P=" << nranks << ", " << fmt_bytes(static_cast<double>(total()))
+     << " sent off-rank, gini=" << fmt(gini(), 3)
+     << ", max/mean=" << fmt(max_over_mean(), 3);
+  return os.str();
+}
+
+std::string CommMatrix::to_string(int max_ranks) const {
+  const int n = std::min(nranks, max_ranks);
+  std::ostringstream os;
+  os << "bytes sent row -> col (" << nranks << " ranks";
+  if (n < nranks) os << ", first " << n << " shown";
+  os << "):\n";
+  for (int src = 0; src < n; ++src) {
+    os << "  " << std::setw(4) << src << " |";
+    for (int dst = 0; dst < n; ++dst)
+      os << " " << std::setw(9) << at(src, dst);
+    os << "  | row " << fmt_bytes(static_cast<double>(row_sum(src))) << "\n";
+  }
+  return os.str();
+}
+
+usize TraceReport::total_events() const {
+  usize n = 0;
+  for (const auto& ev : events) n += ev.size();
+  return n;
+}
+
+std::array<double, net::kPhaseCount> TraceReport::traced_phase_seconds(
+    int rank) const {
+  std::array<double, net::kPhaseCount> sums{};
+  for (const TraceEvent& e : events.at(static_cast<usize>(rank)))
+    sums[static_cast<usize>(e.phase)] += e.t1 - e.t0;
+  return sums;
+}
+
+CommMatrix TraceReport::comm_matrix(bool data_only) const {
+  CommMatrix m;
+  m.nranks = nranks;
+  m.bytes.assign(static_cast<usize>(nranks) * nranks, 0);
+  for (int src = 0; src < nranks; ++src) {
+    const auto& det = details[static_cast<usize>(src)];
+    for (const TraceEvent& e : events[static_cast<usize>(src)]) {
+      if (data_only && e.traffic != net::Traffic::Data) continue;
+      if (e.detail_count > 0) {
+        for (u32 i = 0; i < e.detail_count; ++i) {
+          const usize off = (static_cast<usize>(e.detail_off) + i) * 2;
+          const auto dst = static_cast<i32>(det[off]);
+          HDS_ASSERT(dst >= 0 && dst < nranks);
+          m.bytes[static_cast<usize>(src) * nranks + dst] += det[off + 1];
+        }
+      } else if (e.op == OpKind::Send && e.peer >= 0 && e.peer < nranks) {
+        m.bytes[static_cast<usize>(src) * nranks + e.peer] += e.bytes;
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+
+// Shortest round-trip decimal representation, valid JSON (no nan/inf can
+// occur: all values derive from finite SimClock times).
+void put(std::ostream& os, double v) {
+  os << std::setprecision(17) << v;
+}
+
+}  // namespace
+
+void TraceReport::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+     << "\"args\":{\"name\":\"hds simulated ranks\"}}";
+  for (int r = 0; r < nranks; ++r) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+  }
+  for (int r = 0; r < nranks; ++r) {
+    for (const TraceEvent& e : events[static_cast<usize>(r)]) {
+      sep();
+      os << "{\"name\":\"" << op_kind_name(e.op) << "\",\"cat\":\""
+         << net::phase_name(e.phase) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+         << r << ",\"ts\":";
+      put(os, e.t0 * 1e6);
+      os << ",\"dur\":";
+      put(os, (e.t1 - e.t0) * 1e6);
+      os << ",\"args\":{\"bytes\":" << e.bytes;
+      if (e.peer >= 0) os << ",\"peer\":" << e.peer;
+      if (e.op == OpKind::Send || e.op == OpKind::Recv)
+        os << ",\"tag\":" << e.tag;
+      os << "}}";
+    }
+  }
+  os << "\n],\n\"hds\":{\"ranks\":" << nranks << ",\"makespan_s\":";
+  put(os, makespan_s);
+  os << ",\n\"phases\":[";
+  for (usize p = 0; p < net::kPhaseCount; ++p) {
+    if (p > 0) os << ",";
+    os << "\"" << net::phase_name(static_cast<net::Phase>(p)) << "\"";
+  }
+  os << "],\n\"clock_phase_seconds\":[";
+  for (int r = 0; r < nranks; ++r) {
+    if (r > 0) os << ",";
+    os << "[";
+    for (usize p = 0; p < net::kPhaseCount; ++p) {
+      if (p > 0) os << ",";
+      put(os, clock_phase_s[static_cast<usize>(r)][p]);
+    }
+    os << "]";
+  }
+  os << "],\n\"counters\":{";
+  for (usize c = 0; c < kCounterCount; ++c) {
+    if (c > 0) os << ",";
+    os << "\"" << counter_name(static_cast<Counter>(c)) << "\":[";
+    for (int r = 0; r < nranks; ++r) {
+      if (r > 0) os << ",";
+      os << metrics[static_cast<usize>(r)].value(static_cast<Counter>(c));
+    }
+    os << "]";
+  }
+  os << "},\n\"histogram_convergence\":[";
+  if (!metrics.empty()) {
+    const auto conv = metrics[0].series(Series::HistogramConvergence);
+    for (usize i = 0; i < conv.size(); ++i) {
+      if (i > 0) os << ",";
+      put(os, conv[i]);
+    }
+  }
+  os << "]";
+  // The full matrix is quadratic in P — only embed it at validation scale.
+  if (nranks <= 512) {
+    const CommMatrix m = comm_matrix();
+    os << ",\n\"comm_matrix_bytes\":[";
+    for (int src = 0; src < nranks; ++src) {
+      if (src > 0) os << ",";
+      os << "[";
+      for (int dst = 0; dst < nranks; ++dst) {
+        if (dst > 0) os << ",";
+        os << m.at(src, dst);
+      }
+      os << "]";
+    }
+    os << "]";
+  }
+  os << "}}\n";
+}
+
+}  // namespace hds::obs

@@ -1,0 +1,80 @@
+// Merged post-run trace: per-rank event timelines plus the per-rank
+// SimClock phase sums they must reconcile with. Exports:
+//   - Chrome trace-event JSON (chrome://tracing, Perfetto): one virtual
+//     timeline track per rank, slices categorized by phase;
+//   - a P x P communication matrix (payload bytes rank -> rank) with
+//     Gini / max-over-mean imbalance summaries.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/sim.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace hds::obs {
+
+/// P x P matrix of payload bytes sent rank -> rank, built from the
+/// per-destination detail of alltoall(v) events and from P2P sends.
+/// Imbalance summaries are computed over off-diagonal row sums (the bytes
+/// each rank pushed to *other* ranks), matching the off-rank volume the
+/// sort's SortStats report.
+struct CommMatrix {
+  int nranks = 0;
+  std::vector<u64> bytes;  ///< row-major [src * nranks + dst]
+
+  u64 at(int src, int dst) const {
+    return bytes[static_cast<usize>(src) * nranks + dst];
+  }
+  u64 row_sum(int src, bool include_self = false) const;
+  u64 total(bool include_self = false) const;
+
+  /// Mean of off-diagonal row sums.
+  double mean_row() const;
+  /// Max over mean of off-diagonal row sums (1.0 = perfectly balanced).
+  double max_over_mean() const;
+  /// Gini coefficient of off-diagonal row sums (0 = balanced, ->1 = one
+  /// rank sends everything).
+  double gini() const;
+
+  /// One-line imbalance summary, e.g. "P=32, 12.0 MiB sent, gini=0.031,
+  /// max/mean=1.12".
+  std::string summary() const;
+  /// Human-readable matrix, truncated to max_ranks rows/cols.
+  std::string to_string(int max_ranks = 16) const;
+};
+
+/// The merged result of one traced Team::run.
+struct TraceReport {
+  int nranks = 0;
+  double makespan_s = 0.0;
+  std::vector<std::vector<TraceEvent>> events;  ///< per rank, chronological
+  std::vector<std::vector<u64>> details;  ///< per rank: (peer, bytes) pairs
+  /// SimClock::phase_seconds per rank at the end of the run — the ground
+  /// truth the traced slices must reconcile with.
+  std::vector<std::array<double, net::kPhaseCount>> clock_phase_s;
+  std::vector<Metrics> metrics;  ///< per-rank counter/series registry
+
+  usize total_events() const;
+  /// Per-phase sum of slice durations of one rank's events.
+  std::array<double, net::kPhaseCount> traced_phase_seconds(int rank) const;
+
+  /// Payload-byte matrix. With data_only (default), only Traffic::Data ops
+  /// count — control-plane collectives (histogram allreduces, boundary-cut
+  /// alltoalls) are excluded, so row sums equal each rank's
+  /// elements_sent_off_rank * sizeof(T) for the sort's data exchange.
+  CommMatrix comm_matrix(bool data_only = true) const;
+
+  /// Chrome trace-event JSON: "X" (complete) events with ts/dur in virtual
+  /// microseconds, cat = phase, tid = rank, plus an "hds" section carrying
+  /// ranks, phases, per-rank clock phase sums, counters, and (for small P)
+  /// the comm matrix — enough for scripts to validate reconciliation
+  /// without re-deriving it from the slices.
+  void write_chrome_json(std::ostream& os) const;
+};
+
+}  // namespace hds::obs

@@ -26,48 +26,21 @@
 #include "common/error.h"
 #include "net/cost_model.h"
 #include "net/sim.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "runtime/fault.h"
 #include "runtime/team.h"
 
 namespace hds::runtime {
 
 namespace detail {
-enum class OpId : u32 {
-  Barrier = 1,
-  Broadcast,
-  Allreduce,
-  Allgather,
-  Allgatherv,
-  Gatherv,
-  Alltoall,
-  Alltoallv,
-  Exscan,
-  Scan,
-  Split,
-  // Point-to-point ops: never published into a collective slot, but they
-  // share the id space so fault plans and the watchdog dump can name them.
-  Send,
-  Recv,
-};
+// The op vocabulary lives in obs/events.h so the tracer, fault plans, and
+// the watchdog dump share one id space; these aliases keep the runtime's
+// historical spelling working.
+using OpId = obs::OpKind;
 
-constexpr std::string_view op_name(OpId op) {
-  switch (op) {
-    case OpId::Barrier: return "Barrier";
-    case OpId::Broadcast: return "Broadcast";
-    case OpId::Allreduce: return "Allreduce";
-    case OpId::Allgather: return "Allgather";
-    case OpId::Allgatherv: return "Allgatherv";
-    case OpId::Gatherv: return "Gatherv";
-    case OpId::Alltoall: return "Alltoall";
-    case OpId::Alltoallv: return "Alltoallv";
-    case OpId::Exscan: return "Exscan";
-    case OpId::Scan: return "Scan";
-    case OpId::Split: return "Split";
-    case OpId::Send: return "Send";
-    case OpId::Recv: return "Recv";
-  }
-  return "?";
-}
+constexpr std::string_view op_name(OpId op) { return obs::op_kind_name(op); }
 }  // namespace detail
 
 class Comm {
@@ -85,6 +58,11 @@ class Comm {
   const net::CostModel& cost() const { return team_->cost_; }
   const net::MachineModel& machine() const { return cost().machine(); }
   Team& team() { return *team_; }
+  /// This rank's counter/series registry (see obs/metrics.h). Written only
+  /// by the owning rank's thread; read after Team::run via Team::metrics.
+  obs::Metrics& metrics() {
+    return team_->metrics_[static_cast<usize>(world_rank())];
+  }
 
   // --- computation charges --------------------------------------------------
   void charge_seconds(double s) { clock().advance(s); }
@@ -147,7 +125,8 @@ class Comm {
           fill_out(a, 0, bytes);
           return cost().broadcast(size(), nodes(), bytes,
                                   net::Traffic::Control);
-        });
+        },
+        world_rank_of(root));
     if (bytes > 0) std::memcpy(data, ep.result.data(), bytes);
     finish(ep);
   }
@@ -324,9 +303,13 @@ class Comm {
             a.out_len[r] = bytes;
           }
           return cost().alltoall(size(), nodes(), block, traffic);
-        });
+        },
+        /*peer=*/-1, traffic);
     if (bytes > 0)
       std::memcpy(out, ep.result.data() + ep.out_off[idx_], bytes);
+    if (tracer().enabled() && block > 0)
+      for (int d = 0; d < size(); ++d)
+        tracer().op_detail(world_rank_of(d), block);
     finish(ep);
   }
 
@@ -395,7 +378,13 @@ class Comm {
               matrix[usize(src) * P + dst] =
                   a.slots[src].counts[dst] * sizeof(T);
           return cost().alltoallv(state_->members, matrix, traffic);
-        });
+        },
+        /*peer=*/-1, traffic);
+    if (tracer().enabled())
+      for (int d = 0; d < size(); ++d)
+        if (send_counts[static_cast<usize>(d)] > 0)
+          tracer().op_detail(world_rank_of(d),
+                             send_counts[static_cast<usize>(d)] * sizeof(T));
     std::vector<T> out(ep.out_len[idx_] / sizeof(T));
     if (!out.empty())
       std::memcpy(out.data(), ep.result.data() + ep.out_off[idx_],
@@ -436,29 +425,34 @@ class Comm {
   void send(int dst, u64 tag, std::span<const T> data,
             net::Traffic traffic = net::Traffic::Data) {
     check_trivial<T>();
-    note_op(detail::OpId::Send);
     const rank_t dw = world_rank_of(dst);
+    note_op(detail::OpId::Send, data.size() * sizeof(T), dw, tag, traffic);
     const double dt =
         cost().p2p(world_rank(), dw, data.size() * sizeof(T), traffic);
     clock().advance(dt);  // synchronous send: sender busy for the transfer
     deliver(dw, tag, data);
+    tracer().op_end(clock().now());
   }
 
   /// Transfer without any simulated-time charge. For modelled baselines
   /// whose cost is accounted analytically (e.g. the TBB merge-sort stand-in)
   /// — never use this for algorithms whose cost the experiments measure.
+  /// Traced as Traffic::Control so it stays out of the data comm matrix.
   template <class T>
   void send_uncharged(int dst, u64 tag, std::span<const T> data) {
     check_trivial<T>();
-    note_op(detail::OpId::Send);
-    deliver(world_rank_of(dst), tag, data);
+    const rank_t dw = world_rank_of(dst);
+    note_op(detail::OpId::Send, data.size() * sizeof(T), dw, tag,
+            net::Traffic::Control);
+    deliver(dw, tag, data);
+    tracer().op_end(clock().now());
   }
 
   template <class T>
   std::vector<T> recv(int src, u64 tag) {
     check_trivial<T>();
-    note_op(detail::OpId::Recv);
     const rank_t sw = world_rank_of(src);
+    note_op(detail::OpId::Recv, 0, sw, tag);
     Message msg;
     {
       detail::SiteScope site(progress(), detail::WaitSite::MailboxRecv,
@@ -466,6 +460,8 @@ class Comm {
       msg = team_->mailboxes_[world_rank()]->pop(sw, tag);
     }
     clock().sync_to(std::max(clock().now(), msg.arrival_s));
+    tracer().op_bytes(msg.data.size());
+    tracer().op_end(clock().now());
     std::vector<T> out(msg.data.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), msg.data.data(), msg.data.size());
     return out;
@@ -517,14 +513,25 @@ class Comm {
     return team_->progress_[world_rank()];
   }
 
+  /// This rank's tracer (owned by the enclosing Team; always present, the
+  /// full event buffers are only populated when TeamConfig::trace is set).
+  obs::RankTracer& tracer() {
+    return *team_->tracers_[static_cast<usize>(world_rank())];
+  }
+
   /// Book-keeping common to every communication op: update the progress
-  /// ledger (watchdog) and consult the fault plan, which may crash this
-  /// rank (rank_failed) or straggle its SimClock.
-  void note_op(detail::OpId op) {
+  /// ledger (watchdog), open a trace event, and consult the fault plan,
+  /// which may crash this rank (rank_failed) or straggle its SimClock.
+  /// The tracer opens before the fault hook so an injected straggler delay
+  /// is attributed to the op it stalls.
+  void note_op(detail::OpId op, u64 bytes = 0, i32 peer = -1, u64 tag = 0,
+               net::Traffic traffic = net::Traffic::Control) {
     auto& ps = progress();
     ps.last_op.store(static_cast<u32>(op), std::memory_order_relaxed);
     ps.sim_clock.store(clock().now(), std::memory_order_relaxed);
     ps.ops.fetch_add(1, std::memory_order_relaxed);
+    tracer().op_begin(op, clock().phase(), clock().now(), bytes, peer, tag,
+                      traffic);
     if (FaultPlan* fp = team_->fault_plan())
       fp->on_op(world_rank(), static_cast<u32>(op), clock());
   }
@@ -554,8 +561,10 @@ class Comm {
   /// modelled cost in seconds.
   template <class RootFn>
   detail::EpochArena& collective(detail::OpId op, const void* in, usize bytes,
-                                 const usize* counts, RootFn&& root_fn) {
-    note_op(op);
+                                 const usize* counts, RootFn&& root_fn,
+                                 i32 peer = -1,
+                                 net::Traffic traffic = net::Traffic::Control) {
+    note_op(op, bytes, peer, /*tag=*/0, traffic);
     auto& ep = state_->epochs[round_++ & 1u];
     auto& slot = ep.slots[idx_];
     slot.in = in;
@@ -580,8 +589,12 @@ class Comm {
     return ep;
   }
 
-  /// Common epilogue: fast-forward the clock to the collective exit time.
-  void finish(detail::EpochArena& ep) { clock().sync_to(ep.sync_time); }
+  /// Common epilogue: fast-forward the clock to the collective exit time
+  /// and close the op's trace event at it.
+  void finish(detail::EpochArena& ep) {
+    clock().sync_to(ep.sync_time);
+    tracer().op_end(clock().now());
+  }
 
   template <class T, class Op>
   T scan_impl(T v, Op op, T init, bool inclusive) {

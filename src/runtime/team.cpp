@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
 #include "runtime/comm.h"
 #include "runtime/fault.h"
 
@@ -51,6 +53,10 @@ Team::Team(TeamConfig cfg) : cfg_(cfg) {
   final_times_.resize(cfg_.nranks, 0.0);
   progress_ = std::make_unique<detail::ProgressState[]>(
       static_cast<usize>(cfg_.nranks));
+  tracers_.reserve(static_cast<usize>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r)
+    tracers_.push_back(std::make_unique<obs::RankTracer>(cfg_.trace_ring));
+  metrics_.resize(static_cast<usize>(cfg_.nranks));
 }
 
 Team::~Team() = default;
@@ -69,6 +75,13 @@ void Team::run(const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < cfg_.nranks; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>(&abort_));
   for (int r = 0; r < cfg_.nranks; ++r) progress_[r].reset();
+  trace_report_.reset();
+  for (auto& m : metrics_) m.reset();
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    tracers_[r]->reset();
+    tracers_[r]->set_enabled(cfg_.trace);
+    clocks_[r].set_sink(cfg_.trace ? tracers_[r].get() : nullptr);
+  }
   if (cfg_.fault) cfg_.fault->begin_run(cfg_.nranks);
 
   std::atomic<int> done{0};
@@ -105,6 +118,11 @@ void Team::run(const std::function<void(Comm&)>& fn) {
     watchdog.join();
   }
 
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    clocks_[r].set_sink(nullptr);
+    tracers_[r]->finalize();
+  }
+
   if (first_error_) std::rethrow_exception(first_error_);
 
   stats_ = net::TeamStats{};
@@ -116,6 +134,25 @@ void Team::run(const std::function<void(Comm&)>& fn) {
           clocks_[r].phase_seconds(static_cast<net::Phase>(p));
   }
   for (auto& v : stats_.phase_s) v /= cfg_.nranks;
+
+  if (cfg_.trace) {
+    auto rep = std::make_unique<obs::TraceReport>();
+    rep->nranks = cfg_.nranks;
+    rep->makespan_s = stats_.makespan_s;
+    rep->events.reserve(static_cast<usize>(cfg_.nranks));
+    rep->details.reserve(static_cast<usize>(cfg_.nranks));
+    rep->clock_phase_s.reserve(static_cast<usize>(cfg_.nranks));
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      rep->events.push_back(tracers_[r]->take_events());
+      rep->details.push_back(tracers_[r]->take_details());
+      std::array<double, net::kPhaseCount> ph{};
+      for (usize p = 0; p < net::kPhaseCount; ++p)
+        ph[p] = clocks_[r].phase_seconds(static_cast<net::Phase>(p));
+      rep->clock_phase_s.push_back(ph);
+    }
+    rep->metrics = metrics_;
+    trace_report_ = std::move(rep);
+  }
 }
 
 int Team::run_with_retry(const std::function<void(Comm&)>& fn,
@@ -221,6 +258,21 @@ std::string Team::progress_dump(double stalled_s) const {
         }
         if (pending > 4) os << ", ...";
         os << "]";
+      }
+    }
+    // Ring of recent ops (obs::RankTracer): the dump shows the last few
+    // ops of every rank, not just the most recent one, so the divergence
+    // point of a hang (e.g. one rank short a barrier) is visible.
+    const auto recent = tracers_[r]->ring_snapshot();
+    if (!recent.empty()) {
+      os << "\n    recent ops (oldest first):";
+      for (const auto& e : recent) {
+        os << "\n      #" << e.seq << " " << obs::op_kind_name(e.op)
+           << " phase=" << net::phase_name(e.phase) << " t=" << e.t << "s";
+        if (e.bytes > 0) os << " bytes=" << e.bytes;
+        if (e.peer >= 0) os << " peer=" << e.peer;
+        if (e.op == obs::OpKind::Send || e.op == obs::OpKind::Recv)
+          os << " tag=" << e.tag;
       }
     }
   }

@@ -19,8 +19,14 @@
 #include "net/cost_model.h"
 #include "net/machine.h"
 #include "net/sim.h"
+#include "obs/metrics.h"
 #include "runtime/barrier.h"
 #include "runtime/mailbox.h"
+
+namespace hds::obs {
+class RankTracer;
+struct TraceReport;
+}  // namespace hds::obs
 
 namespace hds::runtime {
 
@@ -45,6 +51,15 @@ struct TeamConfig {
   /// explicit initializer keeps designated-initializer construction
   /// (`TeamConfig{.nranks = p}`) free of -Wmissing-field-initializers.
   std::shared_ptr<FaultPlan> fault = nullptr;
+  /// Record a full per-rank event trace during run(), merged afterwards
+  /// into the TraceReport returned by Team::trace(). Tracing observes the
+  /// simulation without charging it: simulated times are bit-identical
+  /// with the toggle on or off, and with it off the trace buffers are
+  /// never allocated.
+  bool trace = false;
+  /// Capacity of the always-on per-rank ring of recent ops that the
+  /// watchdog's abort dump prints (independent of `trace`); 0 disables it.
+  usize trace_ring = 16;
 };
 
 /// Bounded-retry policy for Team::run_with_retry. Backoff is wall-clock:
@@ -171,6 +186,14 @@ class Team {
   /// Final simulated clock of one rank from the most recent run().
   double rank_time(rank_t r) const { return final_times_.at(r); }
 
+  /// Merged event trace of the most recent successful run(); nullptr unless
+  /// TeamConfig::trace was set.
+  const obs::TraceReport* trace() const { return trace_report_.get(); }
+  /// Counter/series registry of one rank from the most recent run().
+  const obs::Metrics& metrics(rank_t r) const {
+    return metrics_.at(static_cast<usize>(r));
+  }
+
  private:
   friend class Comm;
 
@@ -206,6 +229,10 @@ class Team {
 
   net::TeamStats stats_{};
   std::vector<double> final_times_;
+
+  std::vector<std::unique_ptr<obs::RankTracer>> tracers_;  ///< one per rank
+  std::vector<obs::Metrics> metrics_;                      ///< one per rank
+  std::unique_ptr<obs::TraceReport> trace_report_;
 };
 
 }  // namespace hds::runtime
