@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# CI entry point: build + test in the two configurations that matter for
-# this repo — the optimized config the benchmarks use, and ThreadSanitizer,
-# because the runtime is std::thread-based (one OS thread per simulated
-# rank plus a watchdog) and data races would otherwise only surface as
-# flaky collectives.
+# CI entry point: lint + build + test across the configurations that matter
+# for this repo:
+#   - repo-specific lint (tools/lint_hds.py) and clang-tidy (when installed)
+#   - the optimized config the benchmarks use
+#   - ThreadSanitizer, because the runtime is std::thread-based (one OS
+#     thread per simulated rank plus a watchdog) and data races would
+#     otherwise only surface as flaky collectives
+#   - AddressSanitizer + UndefinedBehaviorSanitizer, because the exchange
+#     and kernel paths do manual buffer arithmetic TSan does not check
+#   - the hds::check happens-before wall: histogram sort and all five
+#     baselines must run violation-free at P in {4, 8, 16} (the ctest
+#     suite covers this; the smoke below exercises the CLI path too)
 #
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${1:-$(nproc)}"
+
+# --- lint wall (cheap; fail before any compile) ------------------------------
+echo "=== lint: tools/lint_hds.py ==="
+python3 tools/lint_hds.py
 
 run_config() {
   local name="$1"; shift
@@ -24,6 +35,20 @@ run_config() {
 
 run_config relwithdebinfo \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_WERROR=ON
+
+# clang-tidy needs the compile database from the configure above. The CI
+# image is gcc-only; when clang-tidy is absent the stage degrades to a
+# notice rather than silently passing (the .clang-tidy profile is still
+# exercised on any machine that has the tool).
+echo "=== lint: clang-tidy ==="
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p build-ci-relwithdebinfo -quiet "$(pwd)/src/.*"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  find src \( -name '*.cpp' -o -name '*.h' \) -print0 |
+    xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-ci-relwithdebinfo --quiet
+else
+  echo "clang-tidy not installed; skipping (profile: .clang-tidy)"
+fi
 
 # Perf smoke: the radix kernel must beat std::sort on uniform u64 at
 # n = 2^20 on whatever hardware CI runs on — this is the wall-clock claim
@@ -83,11 +108,35 @@ print(f"trace smoke OK: {len(slices)} slices over {P} ranks, "
       f"worst reconciliation error {worst:.2e}")
 PYEOF
 
+# Check smoke: the quickstart under the happens-before checker must report
+# zero PGAS consistency violations at every CI rank count (the ctest suite
+# additionally covers all five baselines and the mutation tests that prove
+# the checker notices elided barriers/fences).
+echo "=== check smoke: quickstart --check ==="
+for p in 4 8 16; do
+  (cd build-ci-relwithdebinfo &&
+    ./examples/quickstart --ranks="${p}" --keys-per-rank=5000 --check |
+      tail -1)
+done
+
 # TSan wants debug info and no aggressive inlining to produce usable
 # reports; RelWithDebInfo (-O2 -g) is the supported sweet spot. Benchmarks
 # are excluded — they only add build time and measure nothing under TSan.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_config tsan \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_SANITIZE=thread \
+  -DHDS_BUILD_BENCH=OFF -DHDS_BUILD_EXAMPLES=OFF
+
+# ASan catches the heap errors TSan does not look for (the exchange paths
+# splice spans out of reusable buffers); UBSan catches signed overflow and
+# bad shifts in the radix/bits code. Same RelWithDebInfo reasoning as TSan.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+  run_config asan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_SANITIZE=address \
+  -DHDS_BUILD_BENCH=OFF -DHDS_BUILD_EXAMPLES=OFF
+
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  run_config ubsan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DHDS_SANITIZE=undefined \
   -DHDS_BUILD_BENCH=OFF -DHDS_BUILD_EXAMPLES=OFF
 
 echo "=== CI: all configurations passed ==="

@@ -8,10 +8,14 @@
 // keeps its original element count (perfect partitioning).
 //
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
-//               [--trace=trace.json]
+//               [--trace=trace.json] [--check]
+//
+// --check runs under the hds::check happens-before race checker and exits
+// non-zero if the sort produced any PGAS consistency violation.
 #include <fstream>
 #include <iostream>
 
+#include "check/race_detector.h"
 #include "core/histogram_sort.h"
 #include "obs/report.h"
 #include "runtime/team.h"
@@ -23,6 +27,7 @@ int main(int argc, char** argv) {
   usize keys_per_rank = 100000;
   double epsilon = 0.0;
   std::string trace_path;
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--ranks=", 0) == 0) ranks = std::stoi(arg.substr(8));
@@ -30,9 +35,12 @@ int main(int argc, char** argv) {
       keys_per_rank = std::stoul(arg.substr(16));
     if (arg.rfind("--epsilon=", 0) == 0) epsilon = std::stod(arg.substr(10));
     if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+    if (arg == "--check") check = true;
   }
 
-  runtime::Team team({.nranks = ranks, .trace = !trace_path.empty()});
+  runtime::TeamConfig tcfg{.nranks = ranks, .trace = !trace_path.empty()};
+  tcfg.check.enabled = check;
+  runtime::Team team(tcfg);
 
   team.run([&](runtime::Comm& comm) {
     // 1. Each rank owns a local partition — here: random 64-bit keys.
@@ -79,6 +87,11 @@ int main(int argc, char** argv) {
     std::cout << "wrote Chrome trace (" << trace->total_events()
               << " events) to " << trace_path << "\n"
               << trace->comm_matrix().summary() << "\n";
+  }
+
+  if (const check::CheckReport* rep = team.check_report()) {
+    std::cout << rep->summary() << "\n";
+    if (!rep->clean()) return 1;
   }
   return 0;
 }

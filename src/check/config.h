@@ -1,0 +1,39 @@
+// Configuration of the PGAS happens-before checker (hds::check). Held by
+// value inside runtime::TeamConfig so checked runs are armed with
+// `TeamConfig{.check = {.enabled = true}}`; the engine itself lives in
+// check/race_detector.h and is only constructed when enabled.
+#pragma once
+
+#include "common/types.h"
+#include "obs/events.h"
+
+namespace hds::check {
+
+struct CheckConfig {
+  /// Master switch. When false (the default) the detector is never
+  /// constructed, no shadow state is allocated, and simulated time is
+  /// bit-identical to an unchecked run (same invariant as tracing).
+  bool enabled = false;
+
+  /// Stop recording after this many violations (detection continues to
+  /// count, reports stay bounded).
+  usize max_violations = 64;
+
+  /// Throw check::pgas_violation out of Team::run when the run finishes
+  /// with a non-empty violation list. Off by default so tests and tools can
+  /// inspect the report instead.
+  bool fail_on_violation = false;
+
+  /// Mutation hooks for detector self-tests ("does it have teeth"): elide
+  /// the happens-before joins of the `elide_index`-th (0-based) occurrence
+  /// of `elide_op` on the *world* communicator. The physical run is
+  /// untouched — ranks still synchronize — but the logical clocks behave as
+  /// if the synchronization were absent, exactly the situation over real
+  /// one-sided communication where the matching fence/barrier was deleted.
+  /// Only world-communicator ops count occurrences, which keeps the index
+  /// deterministic (sub-communicator ops can interleave across subteams).
+  obs::OpKind elide_op = obs::OpKind::None;
+  u64 elide_index = 0;
+};
+
+}  // namespace hds::check

@@ -1,0 +1,80 @@
+// Shadow memory of the PGAS race checker: per-location access histories
+// against which new accesses are checked for happens-before ordering.
+//
+// A "location" is one shard of a distributed object (GlobalVector shard, or
+// the shared offsets index as pseudo-shard kIndexShard); within a location,
+// accesses carry element ranges so disjoint-range traffic never conflicts.
+// Histories are compacted by dominance — a newer access by the same rank
+// with the same kind covering an older one's range supersedes it for race
+// detection (later stamps order strictly more) — and pruned wholesale once
+// a record is ordered before every rank's current clock, so steady-state
+// memory is proportional to live concurrency, not run length.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "check/vector_clock.h"
+#include "common/types.h"
+#include "obs/events.h"
+
+namespace hds::check {
+
+/// Pseudo-shard id for per-object metadata shared by all ranks (the
+/// GlobalVector offsets index).
+inline constexpr int kIndexShard = -1;
+
+/// Whole-location element range end.
+inline constexpr usize kWholeRange = ~usize{0};
+
+/// One recorded access to a shadow location.
+struct AccessRecord {
+  rank_t rank = 0;
+  bool is_write = false;
+  usize begin = 0;
+  usize end = 0;       ///< half-open element range [begin, end)
+  u64 stamp = 0;       ///< accessor's own clock component at the access
+  u64 epoch = 0;       ///< collective rounds the accessor had completed
+  const char* what = "";  ///< static label, e.g. "GlobalVector::put"
+  VectorClock vc;         ///< accessor's full clock (reporting/pruning)
+  std::vector<obs::RingEntry> recent;  ///< accessor's op ring at the access
+};
+
+inline bool ranges_overlap(usize b0, usize e0, usize b1, usize e1) {
+  return b0 < e1 && b1 < e0;
+}
+
+/// Access history of one location.
+struct ShadowLocation {
+  std::vector<AccessRecord> records;
+
+  /// Record an access, superseding dominated older records: same rank, same
+  /// kind, range covered by the new one. (The newer record's stamp is
+  /// larger, so anything ordered after the old record is ordered after the
+  /// new one too — keeping only the newer record loses no races.)
+  void add(AccessRecord rec) {
+    std::erase_if(records, [&](const AccessRecord& r) {
+      return r.rank == rec.rank && r.is_write == rec.is_write &&
+             rec.begin <= r.begin && r.end <= rec.end;
+    });
+    records.push_back(std::move(rec));
+  }
+
+  /// Drop records ordered before all of `clocks` (they can never race any
+  /// future access: every rank's next event is already ordered after them).
+  void prune(const std::vector<VectorClock>& clocks) {
+    std::erase_if(records, [&](const AccessRecord& r) {
+      for (const VectorClock& c : clocks)
+        if (!c.ordered_after(static_cast<usize>(r.rank), r.stamp))
+          return false;
+      return true;
+    });
+  }
+};
+
+/// Identity of a shadow location: (object address, shard).
+using ShadowKey = std::pair<const void*, int>;
+
+using ShadowMap = std::map<ShadowKey, ShadowLocation>;
+
+}  // namespace hds::check

@@ -1,0 +1,75 @@
+// hds::check vector clocks — the happens-before algebra of the PGAS race
+// checker. One clock per world rank; component r counts the events rank r
+// has executed (communication ops, one-sided accesses). Event A on rank a
+// happens-before observation B on rank b iff B's clock has caught up with
+// A's timestamp: vc_b[a] >= stamp(A). Joins are published by the runtime
+// at collectives and message deliveries according to each operation's
+// *logical* synchronization shape (see check/race_detector.h), which is
+// deliberately weaker than the physical two-barrier implementation.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace hds::check {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(usize nranks) : c_(nranks, 0) {}
+
+  usize size() const { return c_.size(); }
+  u64 operator[](usize r) const { return c_.at(r); }
+
+  /// New local event on rank r: advance r's own component and return the
+  /// event's timestamp.
+  u64 tick(usize r) { return ++c_.at(r); }
+
+  /// Component-wise max with another clock (happens-before join).
+  void join(const VectorClock& other) {
+    HDS_CHECK(other.c_.size() == c_.size());
+    for (usize i = 0; i < c_.size(); ++i) c_[i] = std::max(c_[i], other.c_[i]);
+  }
+  void join(std::span<const u64> other) {
+    HDS_CHECK(other.size() == c_.size());
+    for (usize i = 0; i < c_.size(); ++i) c_[i] = std::max(c_[i], other[i]);
+  }
+
+  /// Does an event with timestamp `stamp` on rank `r` happen before the
+  /// state this clock describes?
+  bool ordered_after(usize r, u64 stamp) const { return c_.at(r) >= stamp; }
+
+  /// Partial order over whole clocks: a <= b iff every component is <=.
+  bool leq(const VectorClock& other) const {
+    HDS_CHECK(other.c_.size() == c_.size());
+    for (usize i = 0; i < c_.size(); ++i)
+      if (c_[i] > other.c_[i]) return false;
+    return true;
+  }
+
+  /// Neither a <= b nor b <= a: the states are concurrent.
+  bool concurrent_with(const VectorClock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+  std::span<const u64> components() const { return c_; }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << "[";
+    for (usize i = 0; i < c_.size(); ++i) os << (i ? " " : "") << c_[i];
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  std::vector<u64> c_;
+};
+
+}  // namespace hds::check

@@ -4,6 +4,16 @@
 // primitive. If any rank fails (throws), the Team poisons every barrier so
 // waiting ranks wake up and unwind instead of deadlocking — the moral
 // equivalent of MPI_Abort, but recoverable within the host process.
+//
+// Note for the race checker (src/check/): this is a *physical* barrier.
+// It orders host threads, but it publishes no logical happens-before edge
+// — those come only from the op-shaped joins RaceDetector::on_collective
+// applies. The distinction is the whole point of hds::check: the two
+// rendezvous wrapping every collective physically order accesses that real
+// one-sided communication would leave unordered, which is why TSan cannot
+// see a missing logical fence here (DESIGN.md sec. 10). Keep it that way:
+// if some new code path synchronizes through a raw Barrier outside
+// Comm::collective, the checker will (correctly) flag accesses it orders.
 #pragma once
 
 #include <atomic>

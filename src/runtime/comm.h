@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "check/race_detector.h"
 #include "common/error.h"
 #include "net/cost_model.h"
 #include "net/sim.h"
@@ -63,6 +64,10 @@ class Comm {
   obs::Metrics& metrics() {
     return team_->metrics_[static_cast<usize>(world_rank())];
   }
+  /// The PGAS happens-before checker of a checked run (TeamConfig::check);
+  /// nullptr otherwise. Distributed containers report their one-sided
+  /// accesses through this (see runtime/global_vector.h).
+  check::RaceDetector* checker() const { return team_->race_detector(); }
 
   // --- computation charges --------------------------------------------------
   void charge_seconds(double s) { clock().advance(s); }
@@ -126,7 +131,7 @@ class Comm {
           return cost().broadcast(size(), nodes(), bytes,
                                   net::Traffic::Control);
         },
-        world_rank_of(root));
+        world_rank_of(root), net::Traffic::Control, /*hb_root=*/root);
     if (bytes > 0) std::memcpy(data, ep.result.data(), bytes);
     finish(ep);
   }
@@ -262,7 +267,8 @@ class Comm {
                                   total / std::max(1, size()),
                                   net::Traffic::Control) /
                  2.0;  // gather is one tree direction of an allgather
-        });
+        },
+        /*peer=*/-1, net::Traffic::Control, /*hb_root=*/root);
     std::vector<T> out(ep.out_len[idx_] / sizeof(T));
     if (!out.empty())
       std::memcpy(out.data(), ep.result.data() + ep.out_off[idx_],
@@ -459,6 +465,7 @@ class Comm {
                              static_cast<u64>(sw), tag);
       msg = team_->mailboxes_[world_rank()]->pop(sw, tag);
     }
+    if (auto* rd = team_->race_detector()) rd->on_recv(world_rank(), msg.hb_vc);
     clock().sync_to(std::max(clock().now(), msg.arrival_s));
     tracer().op_bytes(msg.data.size());
     tracer().op_end(clock().now());
@@ -492,6 +499,10 @@ class Comm {
     msg.data.resize(data.size() * sizeof(T));
     if (!msg.data.empty())
       std::memcpy(msg.data.data(), data.data(), msg.data.size());
+    // Pairwise happens-before edge: the message carries the sender's
+    // vector clock; the receiver joins it on delivery. (A dropped message
+    // never reaches this point and publishes no edge.)
+    if (auto* rd = team_->race_detector()) rd->on_send(world_rank(), msg.hb_vc);
     team_->mailboxes_[dst_world]->push(std::move(msg));
   }
 
@@ -559,11 +570,15 @@ class Comm {
   /// The generic two-barrier collective. `root_fn` runs on member 0 between
   /// the barriers and must populate result/out_off/out_len and return the
   /// modelled cost in seconds.
+  /// `hb_root` is the member index whose contribution rooted collectives
+  /// (Broadcast/Gatherv) pivot on; the race checker derives the op's
+  /// logical happens-before shape from it (-1 for symmetric ops).
   template <class RootFn>
   detail::EpochArena& collective(detail::OpId op, const void* in, usize bytes,
                                  const usize* counts, RootFn&& root_fn,
                                  i32 peer = -1,
-                                 net::Traffic traffic = net::Traffic::Control) {
+                                 net::Traffic traffic = net::Traffic::Control,
+                                 int hb_root = -1) {
     note_op(op, bytes, peer, /*tag=*/0, traffic);
     auto& ep = state_->epochs[round_++ & 1u];
     auto& slot = ep.slots[idx_];
@@ -578,6 +593,10 @@ class Comm {
     }
     if (idx_ == 0) {
       check_matching_ops(ep, op);
+      // Happens-before publication: the executor drives the whole logical
+      // transaction while every member is parked between the two barriers.
+      if (auto* rd = team_->race_detector())
+        rd->on_collective(state_, op, state_->members, hb_root);
       double entry = 0.0;
       for (const auto& s : ep.slots) entry = std::max(entry, s.clock);
       ep.sync_time = entry + root_fn(ep);

@@ -6,11 +6,21 @@
 // One-sided accesses require the same quiescence discipline as RMA epochs:
 // do not get() from a shard another rank is concurrently resizing; separate
 // such phases with a barrier.
+//
+// Under a checked run (TeamConfig::check) every access is reported to the
+// hds::check::RaceDetector as a shadow-memory event: get/put as
+// element-range reads/writes on the owner's shard, local() as a
+// whole-shard access (write for the mutable overload — the reference can
+// be used to mutate anything, including the size), rebuild_index as a
+// write of the shared offsets index by rank 0, and locate-backed calls as
+// reads of it. Unordered conflicting cross-rank pairs are reported as
+// PGAS consistency violations.
 #pragma once
 
 #include <numeric>
 #include <vector>
 
+#include "check/race_detector.h"
 #include "common/error.h"
 #include "runtime/comm.h"
 
@@ -28,8 +38,18 @@ class GlobalVector {
   int nshards() const { return static_cast<int>(shards_.size()); }
 
   /// This rank's shard (by world rank).
-  std::vector<T>& local(Comm& comm) { return shards_[comm.world_rank()]; }
+  std::vector<T>& local(Comm& comm) {
+    if (auto* rd = comm.checker())
+      rd->on_access(comm.world_rank(), this, comm.world_rank(), 0,
+                    check::kWholeRange, /*is_write=*/true,
+                    "GlobalVector::local (mutable)");
+    return shards_[comm.world_rank()];
+  }
   const std::vector<T>& local(Comm& comm) const {
+    if (auto* rd = comm.checker())
+      rd->on_access(comm.world_rank(), this, comm.world_rank(), 0,
+                    check::kWholeRange, /*is_write=*/false,
+                    "GlobalVector::local (const)");
     return shards_[comm.world_rank()];
   }
 
@@ -47,6 +67,10 @@ class GlobalVector {
     // allgather above orders the write after any prior-phase readers; the
     // barrier below publishes the new index before anyone reads it.
     if (comm.rank() == 0) {
+      if (auto* rd = comm.checker())
+        rd->on_access(comm.world_rank(), this, check::kIndexShard, 0,
+                      check::kWholeRange, /*is_write=*/true,
+                      "GlobalVector::rebuild_index");
       offsets_.assign(comm.size() + 1, 0);
       std::partial_sum(sizes.begin(), sizes.end(), offsets_.begin() + 1);
     }
@@ -77,6 +101,13 @@ class GlobalVector {
   /// One-sided read of a single element (charged as a small RMA get).
   T get(Comm& comm, usize gidx) const {
     const auto [owner, li] = locate(gidx);
+    if (auto* rd = comm.checker()) {
+      rd->on_access(comm.world_rank(), this, check::kIndexShard, 0,
+                    check::kWholeRange, /*is_write=*/false,
+                    "GlobalVector::locate (index read)");
+      rd->on_access(comm.world_rank(), this, owner, li, li + 1,
+                    /*is_write=*/false, "GlobalVector::get");
+    }
     comm.charge_seconds(comm.cost().p2p(comm.world_rank(), owner, sizeof(T),
                                         net::Traffic::Control));
     return shards_[owner][li];
@@ -85,6 +116,13 @@ class GlobalVector {
   /// One-sided write of a single element (charged as a small RMA put).
   void put(Comm& comm, usize gidx, T value) {
     const auto [owner, li] = locate(gidx);
+    if (auto* rd = comm.checker()) {
+      rd->on_access(comm.world_rank(), this, check::kIndexShard, 0,
+                    check::kWholeRange, /*is_write=*/false,
+                    "GlobalVector::locate (index read)");
+      rd->on_access(comm.world_rank(), this, owner, li, li + 1,
+                    /*is_write=*/true, "GlobalVector::put");
+    }
     comm.charge_seconds(comm.cost().p2p(comm.world_rank(), owner, sizeof(T),
                                         net::Traffic::Control));
     shards_[owner][li] = value;

@@ -20,6 +20,9 @@ struct Message {
   u64 tag = 0;
   std::vector<std::byte> data;
   double arrival_s = 0.0;  ///< simulated time the message is fully received
+  /// Sender's vector clock (hds::check pairwise happens-before edge);
+  /// empty — never allocated — unless the run is checked.
+  std::vector<u64> hb_vc;
 };
 
 class Mailbox {

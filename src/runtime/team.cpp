@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "check/race_detector.h"
 #include "common/error.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -57,6 +58,12 @@ Team::Team(TeamConfig cfg) : cfg_(cfg) {
   for (int r = 0; r < cfg_.nranks; ++r)
     tracers_.push_back(std::make_unique<obs::RankTracer>(cfg_.trace_ring));
   metrics_.resize(static_cast<usize>(cfg_.nranks));
+  if (cfg_.check.enabled)
+    detector_ = std::make_unique<check::RaceDetector>(cfg_.check);
+}
+
+const check::CheckReport* Team::check_report() const {
+  return detector_ ? &detector_->report() : nullptr;
 }
 
 Team::~Team() = default;
@@ -83,6 +90,7 @@ void Team::run(const std::function<void(Comm&)>& fn) {
     clocks_[r].set_sink(cfg_.trace ? tracers_[r].get() : nullptr);
   }
   if (cfg_.fault) cfg_.fault->begin_run(cfg_.nranks);
+  if (detector_) detector_->begin_run(cfg_.nranks, tracers_);
 
   std::atomic<int> done{0};
   std::thread watchdog;
@@ -153,6 +161,10 @@ void Team::run(const std::function<void(Comm&)>& fn) {
     rep->metrics = metrics_;
     trace_report_ = std::move(rep);
   }
+
+  if (detector_ && cfg_.check.fail_on_violation &&
+      !detector_->report().clean())
+    throw check::pgas_violation(detector_->report().summary());
 }
 
 int Team::run_with_retry(const std::function<void(Comm&)>& fn,

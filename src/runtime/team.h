@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "check/config.h"
 #include "common/types.h"
 #include "net/cost_model.h"
 #include "net/machine.h"
@@ -27,6 +28,11 @@ namespace hds::obs {
 class RankTracer;
 struct TraceReport;
 }  // namespace hds::obs
+
+namespace hds::check {
+class RaceDetector;
+struct CheckReport;
+}  // namespace hds::check
 
 namespace hds::runtime {
 
@@ -60,6 +66,11 @@ struct TeamConfig {
   /// Capacity of the always-on per-rank ring of recent ops that the
   /// watchdog's abort dump prints (independent of `trace`); 0 disables it.
   usize trace_ring = 16;
+  /// PGAS happens-before race checking (see check/race_detector.h). Like
+  /// tracing, checking observes the simulation without charging it:
+  /// simulated times are bit-identical with the checker on or off, and
+  /// with it off no checker state is ever allocated.
+  check::CheckConfig check{};
 };
 
 /// Bounded-retry policy for Team::run_with_retry. Backoff is wall-clock:
@@ -194,6 +205,10 @@ class Team {
     return metrics_.at(static_cast<usize>(r));
   }
 
+  /// Violation report of the most recent run(); nullptr unless
+  /// TeamConfig::check.enabled was set.
+  const check::CheckReport* check_report() const;
+
  private:
   friend class Comm;
 
@@ -203,6 +218,8 @@ class Team {
   void poison_all();
 
   FaultPlan* fault_plan() const { return cfg_.fault.get(); }
+  /// PGAS happens-before checker; nullptr unless checking is enabled.
+  check::RaceDetector* race_detector() const { return detector_.get(); }
   /// Per-rank diagnostic snapshot for the watchdog abort message.
   std::string progress_dump(double stalled_s) const;
   /// Watchdog body: aborts the run if the progress snapshot stalls.
@@ -233,6 +250,8 @@ class Team {
   std::vector<std::unique_ptr<obs::RankTracer>> tracers_;  ///< one per rank
   std::vector<obs::Metrics> metrics_;                      ///< one per rank
   std::unique_ptr<obs::TraceReport> trace_report_;
+  std::unique_ptr<check::RaceDetector> detector_;  ///< null unless checking
+
 };
 
 }  // namespace hds::runtime

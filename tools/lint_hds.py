@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for hds (run by ci.sh; no dependencies).
+
+Rules (see DESIGN.md sec. 10):
+  comm-note-op       Every collective / point-to-point method body in
+                     src/runtime/comm.h must route through collective() or
+                     note_op() — the hook point the tracer, the watchdog's
+                     mismatch detector, the fault injector, and the
+                     hds::check race checker all piggyback on. An op that
+                     skips it is invisible to all four.
+  thread-primitives  std::thread / std::mutex / std::condition_variable
+                     only inside src/runtime/, src/obs/ and src/check/
+                     (the checker is inherently cross-thread). Algorithm
+                     code must express concurrency through Comm, or the
+                     simulated clocks stop meaning anything.
+  seeded-rng         No std::random_device, rand() or srand() outside
+                     src/common/rng.h. Every run must be reproducible from
+                     config seeds (the determinism contract behind the
+                     fault injector and the bit-identical-trace tests).
+  no-naked-new       No naked new/delete in src/ — ownership goes through
+                     containers and smart pointers ("= delete" declarations
+                     are fine).
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Directories whose code is allowed to use raw thread primitives: the
+# simulator's rank harness itself, the tracer (locked merge of per-rank
+# buffers), and the race checker (a cross-thread observer by design).
+THREAD_ALLOWLIST = ("src/runtime/", "src/obs/", "src/check/")
+
+THREAD_PRIMITIVES = re.compile(
+    r"\bstd::(thread|jthread|mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable|condition_variable_any)\b"
+)
+UNSEEDED_RNG = re.compile(r"\bstd::random_device\b|(?<![\w:])s?rand\s*\(")
+NAKED_NEW = re.compile(r"\bnew\b(?!\s*[;,)\]])")
+NAKED_DELETE = re.compile(r"(?<![=\w])\s*\b(delete)\b(?!\s*[;,)])")
+DELETED_FN = re.compile(r"=\s*delete\b")
+
+# Comm methods that perform a simulated operation and therefore must hit
+# the note_op() hook (directly or via the collective() helper).
+COMM_OP_METHODS = [
+    "barrier",
+    "broadcast",
+    "allreduce",
+    "allgather",
+    "allgatherv",
+    "gatherv",
+    "alltoall",
+    "alltoallv",
+    "send",
+    "send_uncharged",
+    "recv",
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so finding line numbers stay correct."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            out.append(" ")
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def extract_method_body(text: str, name: str, start: int) -> tuple[int, str]:
+    """Given `start` at a method name occurrence, return (open_brace_pos,
+    body) of its definition, or (-1, '') if it is only a declaration."""
+    # Find the parameter list's closing paren, then expect '{' before ';'.
+    open_paren = text.find("(", start)
+    if open_paren < 0:
+        return -1, ""
+    depth, i = 1, open_paren + 1
+    while i < len(text) and depth:
+        depth += {"(": 1, ")": -1}.get(text[i], 0)
+        i += 1
+    # Skip trailer (const, noexcept, template args) up to '{' or ';'.
+    while i < len(text) and text[i] not in "{;":
+        i += 1
+    if i >= len(text) or text[i] == ";":
+        return -1, ""
+    brace, depth, j = i, 1, i + 1
+    while j < len(text) and depth:
+        depth += {"{": 1, "}": -1}.get(text[j], 0)
+        j += 1
+    return brace, text[brace + 1 : j - 1]
+
+
+def check_comm_note_op(findings: list[str]) -> None:
+    path = SRC / "runtime" / "comm.h"
+    raw = path.read_text()
+    text = strip_comments_and_strings(raw)
+    for method in COMM_OP_METHODS:
+        pattern = re.compile(
+            r"(?:^|[ \t])(?:void|T|std::vector<T>|Comm)\s+(%s)\s*\("
+            % re.escape(method),
+            re.M,
+        )
+        found_def = False
+        for m in pattern.finditer(text):
+            brace, body = extract_method_body(text, method, m.start(1))
+            if brace < 0:
+                continue
+            found_def = True
+            if "collective(" not in body and "note_op(" not in body:
+                findings.append(
+                    f"{path.relative_to(REPO)}:{line_of(text, m.start(1))}: "
+                    f"[comm-note-op] Comm::{method} does not call "
+                    "collective()/note_op() — invisible to the tracer, "
+                    "watchdog, fault injector and race checker"
+                )
+        if not found_def:
+            findings.append(
+                f"{path.relative_to(REPO)}: [comm-note-op] could not locate "
+                f"a definition of Comm::{method} (lint parser out of date?)"
+            )
+
+
+def check_file_rules(findings: list[str]) -> None:
+    for path in sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cpp")):
+        rel = path.relative_to(REPO).as_posix()
+        text = strip_comments_and_strings(path.read_text())
+
+        if not rel.startswith(THREAD_ALLOWLIST):
+            for m in THREAD_PRIMITIVES.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [thread-primitives] "
+                    f"{m.group(0)} outside {', '.join(THREAD_ALLOWLIST)} — "
+                    "express concurrency through Comm"
+                )
+
+        if rel != "src/common/rng.h":
+            for m in UNSEEDED_RNG.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [seeded-rng] "
+                    f"'{m.group(0).strip()}' outside src/common/rng.h — "
+                    "all randomness must flow from config seeds"
+                )
+
+        for m in NAKED_NEW.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [no-naked-new] naked "
+                "'new' — use containers or std::make_unique"
+            )
+        for m in NAKED_DELETE.finditer(text):
+            if DELETED_FN.search(text, max(0, m.start() - 8), m.end()):
+                continue  # deleted special member, not the operator
+            findings.append(
+                f"{rel}:{line_of(text, m.start(1))}: [no-naked-new] naked "
+                "'delete' — ownership must not require manual delete"
+            )
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print(f"lint_hds: missing {SRC}", file=sys.stderr)
+        return 2
+    findings: list[str] = []
+    check_comm_note_op(findings)
+    check_file_rules(findings)
+    for f in findings:
+        print(f)
+    n_files = len(list(SRC.rglob("*.h")) + list(SRC.rglob("*.cpp")))
+    if findings:
+        print(f"lint_hds: {len(findings)} finding(s) over {n_files} files")
+        return 1
+    print(f"lint_hds: OK ({n_files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
