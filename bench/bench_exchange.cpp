@@ -1,0 +1,213 @@
+// Exchange data-path study: real wall-clock comparison of the single-copy
+// pull path (Comm::alltoallv_into, DESIGN.md sec. 11) against the legacy
+// packed path for the exchange and merge supersteps, at P in {8, 16} on u64
+// keys and 64-byte records.
+//
+// Like bench_local_sort this measures *real* time, not simulated time: the
+// two paths charge bit-identical simulated costs by construction (asserted
+// in test_exchange_datapath.cpp), so the only observable difference is the
+// wall-clock of the copies the data path saves. The exchange superstep and
+// the merge superstep are timed separately (barrier-to-barrier on rank 0's
+// clock): the merge does identical comparison-bound work on both paths, so
+// folding it into one number would bury the copy delta the bench exists to
+// see — the CI gate therefore reads the phase=="exchange" cells, while the
+// "exchange+merge" cells document the end-to-end effect. Splitters are
+// computed once per cell and reused across reps. Emits BENCH_exchange.json
+// (one object per (type, P, path, phase) cell) consumed by the ci.sh perf
+// gate.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/exchange.h"
+#include "core/histogram_sort.h"
+#include "core/merge.h"
+#include "runtime/comm.h"
+#include "runtime/team.h"
+
+namespace {
+
+using namespace hds;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// 64-byte record: sort key plus 56 payload bytes, the paper's "large
+/// element" regime where copy cost dominates comparison cost.
+struct Rec64 {
+  u64 key;
+  u64 pad[7];
+};
+
+struct Cell {
+  std::string type;
+  int nranks = 0;
+  std::string path;
+  std::string phase;  // "exchange" | "exchange+merge"
+  usize n_per_rank = 0;
+  double seconds_median = 0.0;
+  double speedup_vs_packed = 1.0;
+};
+
+struct Timing {
+  double exchange = 0.0;  ///< median seconds, exchange superstep only
+  double total = 0.0;     ///< median seconds, exchange + merge
+};
+
+template <class T, class KeyFn, class MakeFn>
+Timing time_exchange(int P, usize n, int reps, u64 seed, core::DataPath path,
+                     core::MergeStrategy merge, KeyFn key, MakeFn make) {
+  runtime::Team team({.nranks = P});
+  std::vector<double> t_exchange, t_total;
+  team.run([&](runtime::Comm& c) {
+    Xoshiro256 rng(hash_mix(seed, static_cast<u64>(c.rank())));
+    std::vector<T> local(n);
+    for (auto& v : local) v = make(rng);
+    std::sort(local.begin(), local.end(),
+              [&](const T& a, const T& b) { return key(a) < key(b); });
+    const std::span<const T> sorted_view(local.data(), local.size());
+
+    std::vector<usize> targets(static_cast<usize>(P) - 1);
+    for (usize b = 0; b < targets.size(); ++b) targets[b] = (b + 1) * n;
+    const auto sp = core::find_splitters(c, sorted_view, key,
+                                         std::span<const usize>(targets));
+
+    // Two separate rep loops rather than split timestamps in one: the merge
+    // between reps perturbs allocator and cache state enough to swamp the
+    // exchange delta on an oversubscribed host, so the gated exchange cells
+    // are measured with nothing else in the loop.
+    for (int r = 0; r <= reps; ++r) {  // rep 0 is a warmup
+      c.barrier();
+      const double t0 = now_s();
+      auto ex = core::exchange(c, sorted_view, sp, path);
+      c.barrier();
+      const double t1 = now_s();
+      usize off = 0;
+      for (const usize cnt : ex.recv_counts) {
+        if (!std::is_sorted(
+                ex.data.begin() + static_cast<std::ptrdiff_t>(off),
+                ex.data.begin() + static_cast<std::ptrdiff_t>(off + cnt),
+                            [&](const T& a, const T& b) {
+                              return key(a) < key(b);
+                            })) {
+          std::cerr << "FATAL: exchange produced an unsorted chunk\n";
+          std::exit(1);
+        }
+        off += cnt;
+      }
+      if (c.rank() == 0 && r > 0) t_exchange.push_back(t1 - t0);
+    }
+    for (int r = 0; r <= reps; ++r) {  // rep 0 is a warmup
+      c.barrier();
+      const double t0 = now_s();
+      auto ex = core::exchange(c, sorted_view, sp, path);
+      core::merge_chunks(c, ex.data, std::span<const usize>(ex.recv_counts),
+                         merge, key);
+      c.barrier();
+      const double t1 = now_s();
+      if (!std::is_sorted(ex.data.begin(), ex.data.end(),
+                          [&](const T& a, const T& b) {
+                            return key(a) < key(b);
+                          })) {
+        std::cerr << "FATAL: exchange+merge produced unsorted output\n";
+        std::exit(1);
+      }
+      if (c.rank() == 0 && r > 0) t_total.push_back(t1 - t0);
+    }
+  });
+  return {median(std::move(t_exchange)), median(std::move(t_total))};
+}
+
+void write_json(const std::string& path, const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (usize i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "  {\"type\": \"" << c.type << "\", \"nranks\": " << c.nranks
+        << ", \"path\": \"" << c.path << "\", \"phase\": \"" << c.phase
+        << "\", \"n_per_rank\": " << c.n_per_rank
+        << ", \"seconds_median\": " << c.seconds_median
+        << ", \"speedup_vs_packed\": " << c.speedup_vs_packed << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hds;
+  const bench::Args args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 7));
+  const u64 seed = static_cast<u64>(args.get_int("seed", 1));
+  const usize n_u64 =
+      static_cast<usize>(args.get_int("n_u64", i64{1} << 18));
+  const usize n_rec =
+      static_cast<usize>(args.get_int("n_rec", i64{1} << 15));
+  const std::string out_path = args.get_string("out", "BENCH_exchange.json");
+  const std::string merge_arg = args.get_string("merge", "binary-tree");
+  const core::MergeStrategy merge =
+      merge_arg == "sort"
+          ? core::MergeStrategy::Sort
+          : (merge_arg == "tournament" ? core::MergeStrategy::Tournament
+                                       : core::MergeStrategy::BinaryTree);
+
+  bench::print_header(
+      "Exchange data-path study (real wall-clock)",
+      "single-copy pull vs packed alltoallv; exchange and merge supersteps, "
+      "median of " +
+          std::to_string(reps) + " reps, merge=" + merge_arg);
+
+  Table table({"type", "P", "n/rank", "phase", "packed t[s]", "pull t[s]",
+               "speedup"});
+  std::vector<Cell> cells;
+
+  auto run_cell = [&](const std::string& type, int P, usize n, auto key,
+                      auto make) {
+    using T = std::decay_t<decltype(make(std::declval<Xoshiro256&>()))>;
+    const Timing packed = time_exchange<T>(
+        P, n, reps, seed, core::DataPath::Packed, merge, key, make);
+    const Timing pull = time_exchange<T>(P, n, reps, seed,
+                                         core::DataPath::Pull, merge, key,
+                                         make);
+    const auto emit = [&](const std::string& phase, double t_packed,
+                          double t_pull) {
+      const double speedup = t_pull > 0.0 ? t_packed / t_pull : 0.0;
+      cells.push_back({type, P, "packed", phase, n, t_packed, 1.0});
+      cells.push_back({type, P, "pull", phase, n, t_pull, speedup});
+      table.add_row({type, std::to_string(P), std::to_string(n), phase,
+                     fmt(t_packed), fmt(t_pull), fmt(speedup) + "x"});
+    };
+    emit("exchange", packed.exchange, pull.exchange);
+    emit("exchange+merge", packed.total, pull.total);
+  };
+
+  const auto u64_key = [](u64 v) { return v; };
+  const auto u64_make = [](Xoshiro256& rng) { return rng(); };
+  const auto rec_key = [](const Rec64& r) { return r.key; };
+  const auto rec_make = [](Xoshiro256& rng) {
+    Rec64 r{};
+    r.key = rng();
+    return r;
+  };
+
+  for (int P : {8, 16}) {
+    run_cell("u64", P, n_u64, u64_key, u64_make);
+    run_cell("rec64", P, n_rec, rec_key, rec_make);
+  }
+
+  std::cout << table.to_string();
+  write_json(out_path, cells);
+  std::cout << "wrote " << out_path << " (" << cells.size() << " cells)\n";
+  return 0;
+}

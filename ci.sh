@@ -74,6 +74,36 @@ print(f"perf smoke OK: radix {speedup:.2f}x faster than std::sort "
       "(u64, n=2^20)")
 PYEOF
 
+# Perf gate: the single-copy pull path must beat the packed path by >= 1.3x
+# on the u64 P=16 exchange superstep (DESIGN.md sec. 11 — the copy-count
+# argument this PR's data path is built on). The exchange+merge cells are
+# validated for shape but not gated: the merge does identical work on both
+# paths, so its wall-clock only dilutes the copy delta.
+echo "=== perf gate: bench_exchange ==="
+(cd build-ci-relwithdebinfo &&
+  ./bench/bench_exchange --reps=7 --out=BENCH_exchange.json)
+python3 - build-ci-relwithdebinfo/BENCH_exchange.json <<'PYEOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))
+assert isinstance(cells, list) and cells, "empty or malformed JSON"
+for c in cells:
+    for k in ("type", "nranks", "path", "phase", "n_per_rank",
+              "seconds_median", "speedup_vs_packed"):
+        assert k in c, f"missing field {k}: {c}"
+    assert c["path"] in ("packed", "pull"), c
+    assert c["phase"] in ("exchange", "exchange+merge"), c
+    assert c["seconds_median"] > 0.0, c
+target = [c for c in cells
+          if c["type"] == "u64" and c["nranks"] == 16 and
+             c["path"] == "pull" and c["phase"] == "exchange"]
+assert target, "no u64 P=16 pull exchange cell"
+speedup = target[0]["speedup_vs_packed"]
+assert speedup >= 1.3, \
+    f"pull path only {speedup:.2f}x vs packed on u64 P=16 exchange (< 1.3x)"
+print(f"perf gate OK: pull {speedup:.2f}x faster than packed "
+      "(u64, P=16, exchange superstep)")
+PYEOF
+
 # Trace smoke: a traced quickstart run must produce Chrome trace JSON whose
 # per-rank slice durations reconcile exactly (<= 1e-9 relative) with the
 # SimClock phase sums the runtime reports — the invariant the obs layer is

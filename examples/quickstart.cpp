@@ -8,10 +8,13 @@
 // keeps its original element count (perfect partitioning).
 //
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
-//               [--trace=trace.json] [--check]
+//               [--trace=trace.json] [--check] [--path=pull|packed]
 //
 // --check runs under the hds::check happens-before race checker and exits
 // non-zero if the sort produced any PGAS consistency violation.
+// --path selects the exchange data path (DESIGN.md sec. 11): "pull" is the
+// default single-copy alltoallv_into path, "packed" the legacy arena-staged
+// collective; results and simulated time are identical either way.
 #include <fstream>
 #include <iostream>
 
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
   double epsilon = 0.0;
   std::string trace_path;
   bool check = false;
+  core::DataPath path = core::DataPath::Pull;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--ranks=", 0) == 0) ranks = std::stoi(arg.substr(8));
@@ -36,6 +40,17 @@ int main(int argc, char** argv) {
     if (arg.rfind("--epsilon=", 0) == 0) epsilon = std::stod(arg.substr(10));
     if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
     if (arg == "--check") check = true;
+    if (arg.rfind("--path=", 0) == 0) {
+      const std::string v = arg.substr(7);
+      if (v == "packed") {
+        path = core::DataPath::Packed;
+      } else if (v == "pull") {
+        path = core::DataPath::Pull;
+      } else {
+        std::cerr << "unknown --path value: " << v << " (pull|packed)\n";
+        return 2;
+      }
+    }
   }
 
   runtime::TeamConfig tcfg{.nranks = ranks, .trace = !trace_path.empty()};
@@ -52,6 +67,7 @@ int main(int argc, char** argv) {
     // 2. One call sorts the distributed sequence.
     core::SortConfig cfg;
     cfg.epsilon = epsilon;
+    cfg.path = path;
     const core::SortStats stats = core::sort(comm, local, cfg);
 
     // 3. The local partition now holds this rank's slice of the globally

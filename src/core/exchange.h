@@ -15,10 +15,28 @@
 
 #include "common/bits.h"
 #include "common/error.h"
+#include "core/merge_inplace.h"
 #include "core/multiselect.h"
 #include "runtime/comm.h"
 
 namespace hds::core {
+
+/// How payload bytes move through the runtime (DESIGN.md sec. 11). Pull is
+/// the single-copy default: receivers copy blocks straight from the
+/// senders' published spans (alltoallv_into) and P2P rounds lend the send
+/// buffer instead of staging it in Message::data. Packed is the legacy
+/// reference path (executor packs the epoch arena, receivers copy out).
+/// Both paths produce byte-identical results and bit-identical simulated
+/// time — the cost model charges volume, not copy count.
+enum class DataPath : u8 { Pull, Packed };
+
+constexpr std::string_view data_path_name(DataPath p) {
+  switch (p) {
+    case DataPath::Pull: return "pull";
+    case DataPath::Packed: return "packed";
+  }
+  return "?";
+}
 
 template <class T>
 struct ExchangeResult {
@@ -129,10 +147,15 @@ inline void note_exchange_metrics(runtime::Comm& comm,
 
 /// Full data exchange: computes send counts and runs the ALL-TO-ALLV.
 /// `sorted_local` must be the locally sorted input used by find_splitters.
+/// With DataPath::Pull the output is sized once from the published counts
+/// and every chunk lands at its final offset in one copy (alltoallv_into);
+/// DataPath::Packed is the legacy arena-staged collective. Results and
+/// simulated time are identical either way.
 template <class T, class UK>
 ExchangeResult<T> exchange(runtime::Comm& comm,
                            std::span<const T> sorted_local,
-                           const SplitterResult<UK>& sp) {
+                           const SplitterResult<UK>& sp,
+                           DataPath path = DataPath::Pull) {
   net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
   ExchangeResult<T> out;
   const std::vector<usize> send =
@@ -141,7 +164,11 @@ ExchangeResult<T> exchange(runtime::Comm& comm,
   for (int d = 0; d < comm.size(); ++d)
     if (d != comm.rank()) out.elements_sent_off_rank += send[d];
   note_exchange_metrics(comm, send, sizeof(T));
-  out.data = comm.alltoallv(sorted_local, send, &out.recv_counts);
+  if (path == DataPath::Pull)
+    comm.alltoallv_into(sorted_local, std::span<const usize>(send), out.data,
+                        out.recv_counts);
+  else
+    out.data = comm.alltoallv(sorted_local, send, &out.recv_counts);
   return out;
 }
 
@@ -158,7 +185,8 @@ ExchangeResult<T> exchange(runtime::Comm& comm,
 template <class T, class UK>
 ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
                                      std::span<const T> sorted_local,
-                                     const SplitterResult<UK>& sp) {
+                                     const SplitterResult<UK>& sp,
+                                     DataPath path = DataPath::Pull) {
   net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
   const int P = comm.size();
   if (!is_pow2(static_cast<u64>(P)))
@@ -187,6 +215,7 @@ ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
 
   const int dims = static_cast<int>(log2_ceil(static_cast<u64>(P)));
   const u64 tag_base = 0xcafe00ULL << 8;
+  std::vector<T> rpayload;  // pooled across rounds (pull path resizes it)
   for (int j = 0; j < dims; ++j) {
     const int partner = comm.rank() ^ (1 << j);
     // Serialize every bucket whose destination's bit j differs from ours:
@@ -208,11 +237,36 @@ ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
     }
     comm.send(partner, tag_base + 2 * j, std::span<const u64>(header),
               net::Traffic::Control);
-    comm.send(partner, tag_base + 2 * j + 1, std::span<const T>(payload),
-              net::Traffic::Data);
+    runtime::BorrowToken loan;
+    if (path == DataPath::Pull) {
+      // Lend the payload: the partner copies it straight out of `payload`
+      // into its recv destination (one copy on the wire instead of three).
+      loan = comm.send_borrowed(partner, tag_base + 2 * j + 1,
+                                std::span<const T>(payload));
+    } else {
+      comm.send(partner, tag_base + 2 * j + 1, std::span<const T>(payload),
+                net::Traffic::Data);
+    }
     const std::vector<u64> rheader = comm.recv<u64>(partner, tag_base + 2 * j);
-    const std::vector<T> rpayload =
-        comm.recv<T>(partner, tag_base + 2 * j + 1);
+    if (path == DataPath::Pull) {
+      // The header carries every run length, so the payload size is known
+      // before the payload is received — receive it into pooled scratch.
+      usize incoming = 0;
+      {
+        usize hoff = 1;
+        for (u64 e = 0; e < rheader[0]; ++e) {
+          hoff++;  // dest
+          const u64 nruns = rheader[hoff++];
+          for (u64 k = 0; k < nruns; ++k) incoming += rheader[hoff++];
+        }
+      }
+      rpayload.resize(incoming);
+      const usize got = comm.recv_into(partner, tag_base + 2 * j + 1,
+                                       std::span<T>(rpayload));
+      HDS_CHECK(got == incoming);
+    } else {
+      rpayload = comm.recv<T>(partner, tag_base + 2 * j + 1);
+    }
     usize hoff = 1, poff = 0;
     for (u64 e = 0; e < rheader[0]; ++e) {
       const int d = static_cast<int>(rheader[hoff++]);
@@ -226,6 +280,9 @@ ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
       }
     }
     HDS_CHECK(poff == rpayload.size());
+    // Reclaim the loan only after our own receives: waiting before them
+    // would deadlock the pairwise round (the partner is symmetric).
+    loan.wait();
   }
 
   out.data = std::move(bucket[comm.rank()]);
@@ -251,7 +308,8 @@ ExchangeResult<T> exchange_hypercube(runtime::Comm& comm,
 template <class T, class UK>
 ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
                                         std::span<const T> sorted_local,
-                                        const SplitterResult<UK>& sp) {
+                                        const SplitterResult<UK>& sp,
+                                        DataPath path = DataPath::Pull) {
   net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
   const int P = comm.size();
   const auto& machine = comm.machine();
@@ -276,12 +334,20 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
   constexpr u64 kFanDataTag = 0x71e6ULL << 32;
 
   // 1) Direct intra-node deliveries (every same-node pair, even if empty,
-  // so the receive count is deterministic).
+  // so the receive count is deterministic). On the pull path the slices
+  // are lent straight out of sorted_local — no staging through
+  // Message::data — and the loans are reclaimed after our own receives in
+  // step 5 (sorted_local outlives the whole exchange).
+  std::vector<runtime::BorrowToken> intra_loans;
   for (int d = 0; d < P; ++d) {
     if (d == comm.rank()) continue;
     if (machine.node_of(comm.world_rank_of(d)) != my_node) continue;
-    comm.send(d, kIntraTag + comm.rank(),
-              std::span<const T>(sorted_local.data() + offsets[d], send[d]));
+    const std::span<const T> slice(sorted_local.data() + offsets[d], send[d]);
+    if (path == DataPath::Pull)
+      intra_loans.push_back(
+          comm.send_borrowed(d, kIntraTag + comm.rank(), slice));
+    else
+      comm.send(d, kIntraTag + comm.rank(), slice);
   }
 
   // 2) Funnel off-node slices to the node leader: payload in ascending
@@ -351,12 +417,23 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
       payload_counts[li] = payload.size() - p0;
     }
     std::vector<usize> rheader_counts, rpayload_counts;
-    const std::vector<u64> rheader =
-        leaders.alltoallv(std::span<const u64>(header), header_counts,
-                          &rheader_counts, net::Traffic::Control);
-    const std::vector<T> rpayload =
-        leaders.alltoallv(std::span<const T>(payload), payload_counts,
-                          &rpayload_counts);
+    std::vector<u64> rheader;
+    std::vector<T> rpayload;
+    if (path == DataPath::Pull) {
+      // Leader-to-leader bundles pulled straight from the peers' publish
+      // spans into the local vectors (sized once, filled in place).
+      leaders.alltoallv_into(std::span<const u64>(header),
+                             std::span<const usize>(header_counts), rheader,
+                             rheader_counts, net::Traffic::Control);
+      leaders.alltoallv_into(std::span<const T>(payload),
+                             std::span<const usize>(payload_counts), rpayload,
+                             rpayload_counts);
+    } else {
+      rheader = leaders.alltoallv(std::span<const u64>(header), header_counts,
+                                  &rheader_counts, net::Traffic::Control);
+      rpayload = leaders.alltoallv(std::span<const T>(payload), payload_counts,
+                                   &rpayload_counts);
+    }
 
     // 4) Fan received runs out to their destination ranks on this node.
     usize hoff = 0, poff = 0;
@@ -409,17 +486,29 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
     HDS_CHECK(poff == rpayload.size());
   }
 
-  // 5) Receive: own slice + intra-node direct slices + leader bundles.
+  // 5) Receive: own slice + intra-node direct slices + leader bundles. On
+  // the pull path every incoming payload is appended straight into
+  // out.data (recv_append copies once, from the sender's lent buffer or
+  // the mailbox, to its final offset).
   out.data.assign(sorted_local.begin() + offsets[comm.rank()],
                   sorted_local.begin() + offsets[comm.rank() + 1]);
   out.recv_counts.assign(1, out.data.size());
   for (int s = 0; s < P; ++s) {
     if (s == comm.rank()) continue;
     if (machine.node_of(comm.world_rank_of(s)) != my_node) continue;
-    const std::vector<T> slice = comm.recv<T>(s, kIntraTag + s);
-    out.recv_counts.push_back(slice.size());
-    out.data.insert(out.data.end(), slice.begin(), slice.end());
+    if (path == DataPath::Pull) {
+      out.recv_counts.push_back(comm.recv_append(s, kIntraTag + s, out.data));
+    } else {
+      const std::vector<T> slice = comm.recv<T>(s, kIntraTag + s);
+      out.recv_counts.push_back(slice.size());
+      out.data.insert(out.data.end(), slice.begin(), slice.end());
+    }
   }
+  // Our own intra-node loans are all consumed once every same-node peer
+  // has run the receive loop above; reclaim them before touching
+  // sorted_local's buffer again. (Waiting earlier — before our own
+  // receives — could deadlock the pairwise pattern.)
+  for (auto& loan : intra_loans) loan.wait();
   {
     // One bundle per remote node, from my leader. Node ids are dense in
     // [0, machine.nodes), so a seen-flag array discovers them in O(P)
@@ -434,15 +523,27 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
     }
     for (int nd : remote_nodes) {
       const std::vector<u64> lens = node.recv<u64>(0, kFanLenTag + nd);
-      const std::vector<T> data = node.recv<T>(0, kFanDataTag + nd);
-      usize off = 0;
-      for (u64 len : lens) {
-        out.recv_counts.push_back(len);
-        out.data.insert(out.data.end(), data.begin() + off,
-                        data.begin() + off + len);
-        off += len;
+      if (path == DataPath::Pull) {
+        // The bundle is the concatenation of its runs, so appending it
+        // whole preserves the per-run chunk layout recv_counts describes.
+        usize expect = 0;
+        for (u64 len : lens) {
+          out.recv_counts.push_back(len);
+          expect += len;
+        }
+        const usize got = node.recv_append(0, kFanDataTag + nd, out.data);
+        HDS_CHECK(got == expect);
+      } else {
+        const std::vector<T> data = node.recv<T>(0, kFanDataTag + nd);
+        usize off = 0;
+        for (u64 len : lens) {
+          out.recv_counts.push_back(len);
+          out.data.insert(out.data.end(), data.begin() + off,
+                          data.begin() + off + len);
+          off += len;
+        }
+        HDS_CHECK(off == data.size());
       }
-      HDS_CHECK(off == data.size());
     }
   }
   // Drop leading zero-length chunk bookkeeping noise.
@@ -479,7 +580,8 @@ template <class T, class UK, class KeyFn>
 ExchangeResult<T> exchange_one_factor(runtime::Comm& comm,
                                       std::span<const T> sorted_local,
                                       const SplitterResult<UK>& sp,
-                                      KeyFn key, bool overlap_merge) {
+                                      KeyFn key, bool overlap_merge,
+                                      DataPath path = DataPath::Pull) {
   net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
   const int P = comm.size();
   ExchangeResult<T> out;
@@ -497,27 +599,60 @@ ExchangeResult<T> exchange_one_factor(runtime::Comm& comm,
 
   const int rounds = (P % 2 == 0) ? P - 1 : P;
   const u64 tag_base = 0x1fac70f2ULL << 8;
+  std::vector<T> chunk;  // pull-path arrival scratch, pooled across rounds
   for (int r = 0; r < rounds; ++r) {
     const int partner = one_factor_partner(P, r, comm.rank());
     if (partner == comm.rank()) continue;  // odd P: idle round
     out.elements_sent_off_rank += send[partner];
-    comm.send(partner, tag_base + r,
-              std::span<const T>(sorted_local.data() + offsets[partner],
-                                 send[partner]));
-    std::vector<T> chunk = comm.recv<T>(partner, tag_base + r);
-    if (overlap_merge) {
-      // Merge-on-arrival: each pairwise exchange immediately "gives" its
-      // chunk to a binary merge, overlapping with later rounds.
-      net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
-      std::vector<T> merged(acc.size() + chunk.size());
-      std::merge(acc.begin(), acc.end(), chunk.begin(), chunk.end(),
-                 merged.begin(), less);
-      comm.charge_merge_pass(merged.size());
-      acc = std::move(merged);
-      counts[0] = acc.size();
+    const std::span<const T> slice(sorted_local.data() + offsets[partner],
+                                   send[partner]);
+    runtime::BorrowToken loan;
+    if (path == DataPath::Pull) {
+      // The outgoing slice is lent straight out of sorted_local; the loan
+      // is reclaimed after our own receive (symmetric partner — waiting
+      // before it would deadlock the round).
+      loan = comm.send_borrowed(partner, tag_base + r, slice);
     } else {
-      counts.push_back(chunk.size());
-      acc.insert(acc.end(), chunk.begin(), chunk.end());
+      comm.send(partner, tag_base + r, slice);
+    }
+    if (path == DataPath::Pull) {
+      if (overlap_merge) {
+        // Merge-on-arrival without the staging copy: receive into pooled
+        // scratch, then backward-merge into acc's tail in place. (The
+        // chunk cannot live in acc's own tail — a backward merge whose
+        // second range aliases the destination overwrites unread input.)
+        chunk.clear();
+        comm.recv_append(partner, tag_base + r, chunk);
+        loan.wait();
+        net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
+        const usize n1 = acc.size();
+        acc.resize(n1 + chunk.size());
+        merge_tail_inplace(std::span<T>(acc), n1,
+                           std::span<const T>(chunk), less);
+        comm.charge_merge_pass(acc.size());
+        counts[0] = acc.size();
+      } else {
+        // Chunks land at their final offsets in acc, copied exactly once
+        // from the partner's lent buffer.
+        counts.push_back(comm.recv_append(partner, tag_base + r, acc));
+        loan.wait();
+      }
+    } else {
+      std::vector<T> rchunk = comm.recv<T>(partner, tag_base + r);
+      if (overlap_merge) {
+        // Merge-on-arrival: each pairwise exchange immediately "gives" its
+        // chunk to a binary merge, overlapping with later rounds.
+        net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
+        std::vector<T> merged(acc.size() + rchunk.size());
+        std::merge(acc.begin(), acc.end(), rchunk.begin(), rchunk.end(),
+                   merged.begin(), less);
+        comm.charge_merge_pass(merged.size());
+        acc = std::move(merged);
+        counts[0] = acc.size();
+      } else {
+        counts.push_back(rchunk.size());
+        acc.insert(acc.end(), rchunk.begin(), rchunk.end());
+      }
     }
   }
   out.data = std::move(acc);

@@ -49,6 +49,10 @@ struct SortConfig {
   SplitterInit init = SplitterInit::MinMax;
   usize sample_per_rank = 16;  ///< only used with SplitterInit::Sampled
   ExchangeAlgorithm exchange = ExchangeAlgorithm::Alltoallv;
+  /// How superstep 3 moves payload bytes through the runtime (see
+  /// core/exchange.h): Pull is the single-copy path, Packed the legacy
+  /// arena-staged reference. Identical results and simulated time.
+  DataPath path = DataPath::Pull;
   /// With ExchangeAlgorithm::OneFactor: binary-merge each received chunk on
   /// arrival, overlapping superstep 4 with the remaining rounds.
   bool overlap_merge = false;
@@ -133,16 +137,16 @@ SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
   switch (cfg.exchange) {
     case ExchangeAlgorithm::OneFactor:
       ex = exchange_one_factor(comm, sorted_view, splitters, key,
-                               cfg.overlap_merge);
+                               cfg.overlap_merge, cfg.path);
       break;
     case ExchangeAlgorithm::Hypercube:
-      ex = exchange_hypercube(comm, sorted_view, splitters);
+      ex = exchange_hypercube(comm, sorted_view, splitters, cfg.path);
       break;
     case ExchangeAlgorithm::Hierarchical:
-      ex = exchange_hierarchical(comm, sorted_view, splitters);
+      ex = exchange_hierarchical(comm, sorted_view, splitters, cfg.path);
       break;
     case ExchangeAlgorithm::Alltoallv:
-      ex = exchange(comm, sorted_view, splitters);
+      ex = exchange(comm, sorted_view, splitters, cfg.path);
       break;
   }
   stats.elements_sent_off_rank = ex.elements_sent_off_rank;

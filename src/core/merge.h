@@ -15,6 +15,7 @@
 
 #include "common/error.h"
 #include "core/local_sort.h"
+#include "core/merge_inplace.h"
 #include "runtime/comm.h"
 
 namespace hds::core {
@@ -152,6 +153,22 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
       for (usize c : counts) {
         if (c > 0) runs.emplace_back(off, c);
         off += c;
+      }
+      if (runs.size() == 2 && runs[0].first == 0 &&
+          runs[1].first == runs[0].second &&
+          runs[0].second + runs[1].second == n) {
+        // Two adjacent runs spanning the buffer — the shape every pull-path
+        // exchange produces at P=2 and the one-factor overlap path feeds.
+        // Merge in place: only the second run is staged (scratch of l2
+        // elements, not a full-size ping-pong buffer), then a backward
+        // merge places everything at its final offset.
+        const usize l1 = runs[0].second;
+        std::vector<T> scratch(data.begin() + l1, data.end());
+        merge_tail_inplace(std::span<T>(data), l1,
+                           std::span<const T>(scratch), less);
+        comm.charge_merge_pass(n);
+        comm.metrics().add(obs::Counter::MergeComparisons, comparisons);
+        return;
       }
       std::vector<T> buf(n);
       std::vector<T>* src = &data;

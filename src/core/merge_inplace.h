@@ -1,0 +1,40 @@
+// Backward binary merge into the tail of the destination buffer — the
+// in-place building block of the single-copy data path (DESIGN.md sec. 11):
+// the accumulated run stays where it is, the arriving chunk is merged in
+// from a separate scratch buffer, and no full-size staging allocation is
+// made. The chunk must NOT alias the destination: a backward merge whose
+// second range is the tail of the same buffer can overwrite unread chunk
+// elements (when the write cursor k-1 lands inside the unread chunk region
+// while acc elements remain), which is why callers keep the chunk in a
+// pooled scratch vector.
+#pragma once
+
+#include <span>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace hds::core {
+
+/// Merge `acc[0 .. n1)` (sorted, already in place) with the sorted `chunk`
+/// into `acc[0 .. n1 + chunk.size())`. `acc` must already be resized to the
+/// merged length and must not overlap `chunk`. Equal keys keep range order
+/// (acc before chunk), matching std::merge's stability.
+template <class T, class Less>
+void merge_tail_inplace(std::span<T> acc, usize n1, std::span<const T> chunk,
+                        Less less) {
+  const usize n2 = chunk.size();
+  HDS_CHECK(acc.size() == n1 + n2);
+  usize i = n1;
+  usize j = n2;
+  usize k = n1 + n2;
+  while (j > 0) {
+    if (i > 0 && less(chunk[j - 1], acc[i - 1]))
+      acc[--k] = acc[--i];
+    else
+      acc[--k] = chunk[--j];
+  }
+  // j == 0: acc[0 .. i) is already in final position.
+}
+
+}  // namespace hds::core

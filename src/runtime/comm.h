@@ -19,6 +19,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -43,6 +44,45 @@ using OpId = obs::OpKind;
 
 constexpr std::string_view op_name(OpId op) { return obs::op_kind_name(op); }
 }  // namespace detail
+
+/// Loan handle from Comm::send_borrowed: the sender's buffer stays live
+/// until the receiver has copied it out. wait() blocks until the loan is
+/// returned (throws team_aborted if the team fails first). The destructor
+/// drains the loan non-throwing as a last resort, but relying on it is a
+/// bug — wait() explicitly after posting your own receives, or a pairwise
+/// exchange can deadlock until the watchdog fires.
+class [[nodiscard]] BorrowToken {
+ public:
+  BorrowToken() = default;
+  BorrowToken(BorrowToken&&) noexcept = default;
+  BorrowToken& operator=(BorrowToken&&) noexcept = default;
+  BorrowToken(const BorrowToken&) = delete;
+  BorrowToken& operator=(const BorrowToken&) = delete;
+
+  ~BorrowToken() {
+    if (state_) state_->wait_nothrow(abort_);
+  }
+
+  /// Block until the receiver released the buffer (or the team aborted).
+  void wait() {
+    if (state_) {
+      state_->wait(abort_);
+      state_.reset();
+    }
+  }
+
+  /// True while the receiver still holds the loan.
+  bool pending() const { return state_ && !state_->done(); }
+
+ private:
+  friend class Comm;
+  BorrowToken(std::shared_ptr<BorrowState> state,
+              const std::atomic<bool>* abort)
+      : state_(std::move(state)), abort_(abort) {}
+
+  std::shared_ptr<BorrowState> state_;
+  const std::atomic<bool>* abort_ = nullptr;
+};
 
 class Comm {
  public:
@@ -341,30 +381,39 @@ class Comm {
         send_counts.data(), [&](detail::EpochArena& a) {
           const int P = size();
           // Receive layout: out[dst] = concat over src of block(src -> dst).
-          std::vector<usize> recv_bytes(P, 0);
+          // scratch_a doubles as recv_bytes here and as the pack cursor
+          // below (pooled across epochs; see EpochArena).
+          auto& cursor = a.scratch_a;
+          cursor.assign(static_cast<usize>(P), 0);
           for (int src = 0; src < P; ++src)
             for (int dst = 0; dst < P; ++dst)
-              recv_bytes[dst] += a.slots[src].counts[dst] * sizeof(T);
+              cursor[dst] += a.slots[src].counts[dst] * sizeof(T);
           usize total = 0;
           for (int dst = 0; dst < P; ++dst) {
             a.out_off[dst] = total;
-            a.out_len[dst] = recv_bytes[dst];
-            total += recv_bytes[dst];
+            a.out_len[dst] = cursor[dst];
+            total += cursor[dst];
           }
           // Arena layout: [data][P x P count matrix, row = destination].
           // Counts live in the arena because the publishing rank's own
           // count array may go out of scope as soon as it leaves the
-          // collective.
-          a.result.resize(total + usize(P) * P * sizeof(usize));
-          {
-            std::vector<usize> by_dst(usize(P) * P);
+          // collective — but the matrix is only materialized when some
+          // member actually asked for recv_counts (kSlotWantsCounts).
+          bool wants_counts = false;
+          for (const auto& s : a.slots)
+            if (s.flags & detail::kSlotWantsCounts) wants_counts = true;
+          a.result.resize(total +
+                          (wants_counts ? usize(P) * P * sizeof(usize) : 0));
+          if (wants_counts) {
+            auto& by_dst = a.scratch_b;
+            by_dst.resize(usize(P) * P);
             for (int dst = 0; dst < P; ++dst)
               for (int src = 0; src < P; ++src)
                 by_dst[usize(dst) * P + src] = a.slots[src].counts[dst];
             std::memcpy(a.result.data() + total, by_dst.data(),
                         by_dst.size() * sizeof(usize));
           }
-          std::vector<usize> cursor(a.out_off.begin(), a.out_off.begin() + P);
+          for (int dst = 0; dst < P; ++dst) cursor[dst] = a.out_off[dst];
           for (int src = 0; src < P; ++src) {
             const auto* base = static_cast<const std::byte*>(a.slots[src].in);
             usize src_off = 0;
@@ -378,14 +427,16 @@ class Comm {
             }
           }
           // Cost from the full byte matrix.
-          std::vector<usize> matrix(usize(P) * P);
+          auto& matrix = a.scratch_b;
+          matrix.resize(usize(P) * P);
           for (int src = 0; src < P; ++src)
             for (int dst = 0; dst < P; ++dst)
               matrix[usize(src) * P + dst] =
                   a.slots[src].counts[dst] * sizeof(T);
           return cost().alltoallv(state_->members, matrix, traffic);
         },
-        /*peer=*/-1, traffic);
+        /*peer=*/-1, traffic, /*hb_root=*/-1,
+        recv_counts != nullptr ? detail::kSlotWantsCounts : 0);
     if (tracer().enabled())
       for (int d = 0; d < size(); ++d)
         if (send_counts[static_cast<usize>(d)] > 0)
@@ -406,6 +457,46 @@ class Comm {
     }
     finish(ep);
     return out;
+  }
+
+  /// Pull-path irregular exchange into a caller-provided destination: the
+  /// received elements (ordered by source rank) are copied exactly once,
+  /// from each sender's published span straight into `dst`. `recv_counts`
+  /// receives the per-source element counts; `dst` must already hold
+  /// exactly the incoming total (size it from a prior counts exchange).
+  /// `dst` must not alias `data`. Modelled cost and simulated time are
+  /// bit-identical with the packed alltoallv for the same inputs.
+  template <class T>
+  void alltoallv_into(std::span<const T> data,
+                      std::span<const usize> send_counts, std::span<T> dst,
+                      std::vector<usize>& recv_counts,
+                      net::Traffic traffic = net::Traffic::Data) {
+    alltoallv_pull<T>(
+        data, send_counts,
+        [&](usize total, const std::vector<usize>&) {
+          HDS_CHECK_MSG(total == dst.size(),
+                        "alltoallv_into: dst holds " << dst.size()
+                            << " elements but " << total << " are incoming");
+          return dst.data();
+        },
+        recv_counts, traffic);
+  }
+
+  /// Pull-path overload that sizes `dst` itself: resized exactly once to
+  /// the incoming total (from the published counts), then filled in place.
+  /// `dst` must not alias `data`.
+  template <class T>
+  void alltoallv_into(std::span<const T> data,
+                      std::span<const usize> send_counts, std::vector<T>& dst,
+                      std::vector<usize>& recv_counts,
+                      net::Traffic traffic = net::Traffic::Data) {
+    alltoallv_pull<T>(
+        data, send_counts,
+        [&](usize total, const std::vector<usize>&) {
+          dst.resize(total);
+          return dst.data();
+        },
+        recv_counts, traffic);
   }
 
   /// Exclusive prefix scan: rank r receives op(init, v_0, ..., v_{r-1}).
@@ -457,21 +548,67 @@ class Comm {
   template <class T>
   std::vector<T> recv(int src, u64 tag) {
     check_trivial<T>();
-    const rank_t sw = world_rank_of(src);
-    note_op(detail::OpId::Recv, 0, sw, tag);
-    Message msg;
-    {
-      detail::SiteScope site(progress(), detail::WaitSite::MailboxRecv,
-                             static_cast<u64>(sw), tag);
-      msg = team_->mailboxes_[world_rank()]->pop(sw, tag);
-    }
-    if (auto* rd = team_->race_detector()) rd->on_recv(world_rank(), msg.hb_vc);
-    clock().sync_to(std::max(clock().now(), msg.arrival_s));
-    tracer().op_bytes(msg.data.size());
-    tracer().op_end(clock().now());
-    std::vector<T> out(msg.data.size() / sizeof(T));
-    if (!out.empty()) std::memcpy(out.data(), msg.data.data(), msg.data.size());
+    std::vector<T> out;
+    recv_bytes_into(src, tag, [&](usize nbytes) {
+      out.resize(nbytes / sizeof(T));
+      return reinterpret_cast<std::byte*>(out.data());
+    });
     return out;
+  }
+
+  /// Loaned-payload send: the payload never round-trips through
+  /// Message::data — the receiver's recv/recv_into/recv_append copies it
+  /// straight from the caller's buffer into its destination (one copy
+  /// total). Charges and traces exactly like send(). The returned token
+  /// MUST be waited on before the buffer is mutated or freed; the send
+  /// itself never blocks on the receiver (a blocking send would deadlock
+  /// pairwise exchanges), so post your own receives first, then wait().
+  template <class T>
+  [[nodiscard]] BorrowToken send_borrowed(
+      int dst, u64 tag, std::span<const T> data,
+      net::Traffic traffic = net::Traffic::Data) {
+    check_trivial<T>();
+    const rank_t dw = world_rank_of(dst);
+    note_op(detail::OpId::Send, data.size() * sizeof(T), dw, tag, traffic);
+    const double dt =
+        cost().p2p(world_rank(), dw, data.size() * sizeof(T), traffic);
+    clock().advance(dt);  // synchronous send: sender busy for the transfer
+    auto state = std::make_shared<BorrowState>();
+    deliver_borrowed(dw, tag, std::as_bytes(data), state);
+    tracer().op_end(clock().now());
+    return BorrowToken(std::move(state), &team_->abort_);
+  }
+
+  /// Receive directly into a caller-provided span (capacity must cover the
+  /// payload). Returns the element count received. Pairs with either
+  /// send() or send_borrowed(); for the latter this is the single copy.
+  template <class T>
+  usize recv_into(int src, u64 tag, std::span<T> dst) {
+    check_trivial<T>();
+    const usize nbytes = recv_bytes_into(src, tag, [&](usize nb) {
+      HDS_CHECK_MSG(nb % sizeof(T) == 0,
+                    "recv_into: payload is not a whole element count");
+      HDS_CHECK_MSG(nb / sizeof(T) <= dst.size(),
+                    "recv_into: destination span too small (" << dst.size()
+                        << " elements for " << nb << " bytes)");
+      return reinterpret_cast<std::byte*>(dst.data());
+    });
+    return nbytes / sizeof(T);
+  }
+
+  /// Receive and append to `dst` (grown exactly once). Returns the element
+  /// count received.
+  template <class T>
+  usize recv_append(int src, u64 tag, std::vector<T>& dst) {
+    check_trivial<T>();
+    const usize nbytes = recv_bytes_into(src, tag, [&](usize nb) {
+      HDS_CHECK_MSG(nb % sizeof(T) == 0,
+                    "recv_append: payload is not a whole element count");
+      const usize old = dst.size();
+      dst.resize(old + nb / sizeof(T));
+      return reinterpret_cast<std::byte*>(dst.data() + old);
+    });
+    return nbytes / sizeof(T);
   }
 
  private:
@@ -504,6 +641,60 @@ class Comm {
     // never reaches this point and publishes no edge.)
     if (auto* rd = team_->race_detector()) rd->on_send(world_rank(), msg.hb_vc);
     team_->mailboxes_[dst_world]->push(std::move(msg));
+  }
+
+  /// Borrowed-payload delivery: the message carries a pointer into the
+  /// sender's buffer plus the BorrowState the receiver signals after
+  /// copying. A fault-dropped send returns the loan immediately — the
+  /// receiver never sees the message, so nobody else would.
+  void deliver_borrowed(rank_t dst_world, u64 tag,
+                        std::span<const std::byte> payload,
+                        const std::shared_ptr<BorrowState>& state) {
+    double extra_delay_s = 0.0;
+    if (FaultPlan* fp = team_->fault_plan()) {
+      if (!fp->on_send(world_rank(), dst_world, tag, &extra_delay_s)) {
+        state->signal();  // dropped on the wire: loan returns to the sender
+        return;
+      }
+    }
+    Message msg;
+    msg.src = world_rank();
+    msg.tag = tag;
+    msg.arrival_s = clock().now() + extra_delay_s;
+    msg.borrowed = payload.data();
+    msg.borrowed_bytes = payload.size();
+    msg.borrow = state;
+    if (auto* rd = team_->race_detector()) rd->on_send(world_rank(), msg.hb_vc);
+    team_->mailboxes_[dst_world]->push(std::move(msg));
+  }
+
+  /// Shared receive body: pop the matching message, join its HB edge, sync
+  /// the clock, then copy the payload (inline or borrowed) to wherever
+  /// `place(nbytes)` points and return the loan if there is one. Returns
+  /// the payload size in bytes.
+  template <class PlaceFn>
+  usize recv_bytes_into(int src, u64 tag, PlaceFn&& place) {
+    const rank_t sw = world_rank_of(src);
+    note_op(detail::OpId::Recv, 0, sw, tag);
+    Message msg;
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::MailboxRecv,
+                             static_cast<u64>(sw), tag);
+      msg = team_->mailboxes_[world_rank()]->pop(sw, tag);
+    }
+    if (auto* rd = team_->race_detector()) rd->on_recv(world_rank(), msg.hb_vc);
+    clock().sync_to(std::max(clock().now(), msg.arrival_s));
+    const bool borrowed = msg.borrow != nullptr;
+    const std::byte* payload = borrowed ? msg.borrowed : msg.data.data();
+    const usize nbytes = borrowed ? msg.borrowed_bytes : msg.data.size();
+    std::byte* out = place(nbytes);
+    if (nbytes > 0) std::memcpy(out, payload, nbytes);
+    // Signal strictly after the copy: the sender's wait() + this mutex
+    // round-trip give the copy a happens-before edge to buffer reuse.
+    if (borrowed) msg.borrow->signal();
+    tracer().op_bytes(nbytes);
+    tracer().op_end(clock().now());
+    return nbytes;
   }
 
   void zero_out(detail::EpochArena& a) {
@@ -573,12 +764,14 @@ class Comm {
   /// `hb_root` is the member index whose contribution rooted collectives
   /// (Broadcast/Gatherv) pivot on; the race checker derives the op's
   /// logical happens-before shape from it (-1 for symmetric ops).
+  /// `pub_flags` is published in this member's slot for op-specific
+  /// executor decisions (kSlotWantsCounts).
   template <class RootFn>
   detail::EpochArena& collective(detail::OpId op, const void* in, usize bytes,
                                  const usize* counts, RootFn&& root_fn,
                                  i32 peer = -1,
                                  net::Traffic traffic = net::Traffic::Control,
-                                 int hb_root = -1) {
+                                 int hb_root = -1, u32 pub_flags = 0) {
     note_op(op, bytes, peer, /*tag=*/0, traffic);
     auto& ep = state_->epochs[round_++ & 1u];
     auto& slot = ep.slots[idx_];
@@ -587,6 +780,7 @@ class Comm {
     slot.counts = counts;
     slot.clock = clock().now();
     slot.op_id = static_cast<u32>(op);
+    slot.flags = pub_flags;
     {
       detail::SiteScope site(progress(), detail::WaitSite::Barrier);
       state_->barrier.wait();
@@ -606,6 +800,131 @@ class Comm {
       state_->barrier.wait();
     }
     return ep;
+  }
+
+  /// Pull-mode two-barrier collective: same protocol as collective(), but
+  /// every member additionally runs `member_fn` between the barriers —
+  /// copying its incoming blocks directly out of the other members'
+  /// published spans, so the payload is touched exactly once and the copy
+  /// work is spread over all ranks instead of serialized on the executor.
+  /// `root_fn` only computes the modelled cost here (it must not touch the
+  /// arena result). `member_fn` runs concurrently with the root's
+  /// mismatch check, so it must verify each slot's op_id before
+  /// dereferencing op-specific fields and bail out on a mismatch (the root
+  /// aborts the team right after). ep.sync_time is only read after barrier
+  /// #2 (in finish()), so the root's write does not race with member pulls.
+  template <class RootFn, class MemberFn>
+  detail::EpochArena& collective_pull(detail::OpId op, const void* in,
+                                      usize bytes, const usize* counts,
+                                      RootFn&& root_fn, MemberFn&& member_fn,
+                                      net::Traffic traffic) {
+    note_op(op, bytes, /*peer=*/-1, /*tag=*/0, traffic);
+    auto& ep = state_->epochs[round_++ & 1u];
+    auto& slot = ep.slots[idx_];
+    slot.in = in;
+    slot.bytes = bytes;
+    slot.counts = counts;
+    slot.clock = clock().now();
+    slot.op_id = static_cast<u32>(op);
+    slot.flags = 0;
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::Barrier);
+      state_->barrier.wait();
+    }
+    if (idx_ == 0) {
+      check_matching_ops(ep, op);
+      if (auto* rd = team_->race_detector())
+        rd->on_collective(state_, op, state_->members, /*hb_root=*/-1);
+      double entry = 0.0;
+      for (const auto& s : ep.slots) entry = std::max(entry, s.clock);
+      ep.sync_time = entry + root_fn(ep);
+    }
+    try {
+      member_fn(ep);
+    } catch (...) {
+      // Peers may still be pulling from this rank's published span, which
+      // unwinding would free under them: arrive at barrier #2 first so
+      // every member is done with the buffers, then propagate. A failure
+      // of the barrier itself (team abort) must not mask the original
+      // error.
+      try {
+        detail::SiteScope site(progress(), detail::WaitSite::Barrier);
+        state_->barrier.wait();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+      throw;
+    }
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::Barrier);
+      state_->barrier.wait();
+    }
+    return ep;
+  }
+
+  /// Pull-mode alltoallv body shared by the alltoallv_into overloads.
+  /// `dst_fn(total, recv_counts)` must return a T* with room for `total`
+  /// elements; it runs on this rank between the barriers. The cost matrix
+  /// is byte-for-byte the one the packed path charges, so simulated time
+  /// is bit-identical between the two paths.
+  template <class T, class DstFn>
+  void alltoallv_pull(std::span<const T> data,
+                      std::span<const usize> send_counts, DstFn&& dst_fn,
+                      std::vector<usize>& recv_counts, net::Traffic traffic) {
+    check_trivial<T>();
+    HDS_CHECK(send_counts.size() == static_cast<usize>(size()));
+    usize total_send = 0;
+    for (usize c : send_counts) total_send += c;
+    HDS_CHECK_MSG(total_send == data.size(),
+                  "alltoallv_into: send counts (" << total_send
+                      << ") != data size (" << data.size() << ")");
+
+    auto& ep = collective_pull(
+        detail::OpId::Alltoallv, data.data(), data.size() * sizeof(T),
+        send_counts.data(),
+        [&](detail::EpochArena& a) {
+          // Executor: cost only — the payload moves via member pulls.
+          const int P = size();
+          auto& matrix = a.scratch_b;
+          matrix.resize(usize(P) * P);
+          for (int src = 0; src < P; ++src)
+            for (int dst = 0; dst < P; ++dst)
+              matrix[usize(src) * P + dst] =
+                  a.slots[src].counts[dst] * sizeof(T);
+          return cost().alltoallv(state_->members, matrix, traffic);
+        },
+        [&](detail::EpochArena& a) {
+          const int P = size();
+          const auto op = static_cast<u32>(detail::OpId::Alltoallv);
+          recv_counts.resize(static_cast<usize>(P));
+          usize total = 0;
+          for (int src = 0; src < P; ++src) {
+            // Mismatched collective: this slot's counts pointer is not
+            // ours to read; bail and let the root abort the team.
+            if (a.slots[src].op_id != op) return;
+            recv_counts[src] = a.slots[src].counts[idx_];
+            total += recv_counts[src];
+          }
+          T* out = dst_fn(total, recv_counts);
+          usize off = 0;
+          for (int src = 0; src < P; ++src) {
+            const usize c = recv_counts[src];
+            if (c > 0) {
+              usize skip = 0;  // sender's elements bound for members < us
+              for (int d = 0; d < idx_; ++d) skip += a.slots[src].counts[d];
+              std::memcpy(out + off,
+                          static_cast<const T*>(a.slots[src].in) + skip,
+                          c * sizeof(T));
+            }
+            off += c;
+          }
+        },
+        traffic);
+    if (tracer().enabled())
+      for (int d = 0; d < size(); ++d)
+        if (send_counts[static_cast<usize>(d)] > 0)
+          tracer().op_detail(world_rank_of(d),
+                             send_counts[static_cast<usize>(d)] * sizeof(T));
+    finish(ep);
   }
 
   /// Common epilogue: fast-forward the clock to the collective exit time

@@ -1,11 +1,21 @@
 // Point-to-point messaging between ranks: one MPSC mailbox per rank with
 // (source, tag) matching, FIFO per channel, and simulated arrival times so
 // the receiver's clock advances consistently with the cost model.
+//
+// Messages are indexed by (src, tag) channel so pop() is O(log channels)
+// instead of O(pending): a hierarchical exchange parks hundreds of fan-out
+// payloads in a leader's mailbox, and the old linear scan re-walked all of
+// them on every wakeup. push() pairs with a targeted notify_one — each
+// mailbox has exactly one consumer (the owning rank), so waking more than
+// one waiter is never useful.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -15,6 +25,56 @@
 
 namespace hds::runtime {
 
+/// Rendezvous handle for a borrowed-payload send (Comm::send_borrowed).
+/// The sender's buffer is lent to the receiver by pointer; the receiver
+/// copies it out and signals, and the sender must not free or mutate the
+/// buffer until wait() returns. Signal/wait pair under the mutex, so the
+/// receiver's copy happens-before the sender's reuse in the host-thread
+/// (TSan) sense as well as logically.
+class BorrowState {
+ public:
+  void signal() {
+    {
+      std::lock_guard lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until the receiver released the buffer. Throws team_aborted if
+  /// the team is poisoned while waiting (polled: the token is not wired
+  /// into the Team's poison fan-out).
+  void wait(const std::atomic<bool>* abort) {
+    std::unique_lock lock(mu_);
+    while (!done_) {
+      if (abort->load(std::memory_order_relaxed)) throw team_aborted();
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Non-throwing drain for unwind paths (BorrowToken's destructor):
+  /// returns once the loan is returned, or once the team is aborting — in
+  /// which case the receiver is unwinding too and will not touch the
+  /// buffer again.
+  void wait_nothrow(const std::atomic<bool>* abort) noexcept {
+    std::unique_lock lock(mu_);
+    while (!done_) {
+      if (abort == nullptr || abort->load(std::memory_order_relaxed)) return;
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  bool done() const {
+    std::lock_guard lock(mu_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
 struct Message {
   rank_t src = 0;
   u64 tag = 0;
@@ -23,6 +83,13 @@ struct Message {
   /// Sender's vector clock (hds::check pairwise happens-before edge);
   /// empty — never allocated — unless the run is checked.
   std::vector<u64> hb_vc;
+  /// Borrowed-payload transport (Comm::send_borrowed): the payload stays in
+  /// the sender's buffer and `data` stays empty. The receiver copies
+  /// `borrowed_bytes` from `borrowed` and signals `borrow` to return the
+  /// loan. A fault-dropped borrowed send signals immediately instead.
+  const std::byte* borrowed = nullptr;
+  usize borrowed_bytes = 0;
+  std::shared_ptr<BorrowState> borrow;
 };
 
 class Mailbox {
@@ -35,23 +102,25 @@ class Mailbox {
   void push(Message msg) {
     {
       std::lock_guard lock(mu_);
-      msgs_.push_back(std::move(msg));
+      channels_[{msg.src, msg.tag}].push_back(std::move(msg));
+      ++pending_;
     }
-    cv_.notify_all();
+    cv_.notify_one();
   }
 
   /// Pop the oldest message matching (src, tag). Blocks; throws team_aborted
   /// if the team is poisoned while waiting.
   Message pop(rank_t src, u64 tag) {
     std::unique_lock lock(mu_);
+    const std::pair<rank_t, u64> key{src, tag};
     for (;;) {
       if (abort_->load(std::memory_order_relaxed)) throw team_aborted();
-      for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
-        if (it->src == src && it->tag == tag) {
-          Message out = std::move(*it);
-          msgs_.erase(it);
-          return out;
-        }
+      if (auto it = channels_.find(key); it != channels_.end()) {
+        Message out = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) channels_.erase(it);
+        --pending_;
+        return out;
       }
       cv_.wait(lock);
     }
@@ -65,17 +134,17 @@ class Mailbox {
   /// Undelivered messages sitting in this mailbox (watchdog diagnostic).
   usize pending() const {
     std::lock_guard lock(mu_);
-    return msgs_.size();
+    return pending_;
   }
 
-  /// (src, tag) of up to `max` undelivered messages, for the watchdog dump:
+  /// (src, tag) of up to `max` undelivered channels, for the watchdog dump:
   /// a receiver stuck on one channel often has the "wrong" message queued.
   std::vector<std::pair<rank_t, u64>> pending_channels(usize max = 4) const {
     std::lock_guard lock(mu_);
     std::vector<std::pair<rank_t, u64>> out;
-    for (const auto& m : msgs_) {
+    for (const auto& [key, q] : channels_) {
       if (out.size() >= max) break;
-      out.emplace_back(m.src, m.tag);
+      if (!q.empty()) out.push_back(key);
     }
     return out;
   }
@@ -83,7 +152,9 @@ class Mailbox {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> msgs_;
+  /// FIFO per (src, tag); empty deques are erased so the map stays small.
+  std::map<std::pair<rank_t, u64>, std::deque<Message>> channels_;
+  usize pending_ = 0;
   const std::atomic<bool>* abort_;
 };
 

@@ -90,17 +90,57 @@ struct PubSlot {
   usize bytes = 0;
   const usize* counts = nullptr;  ///< optional per-destination element counts
   double clock = 0.0;
-  u32 op_id = 0;  ///< collective type, checked in debug builds
+  u32 op_id = 0;   ///< collective type, checked in debug builds
+  u32 flags = 0;   ///< op-specific bits (kSlotWantsCounts)
+};
+
+/// PubSlot flag: this member passed a recv_counts out-parameter, so the
+/// packed alltoallv must persist the counts matrix in the arena.
+inline constexpr u32 kSlotWantsCounts = 1u;
+
+/// Pooled, grow-only byte buffer for collective results. Unlike
+/// std::vector, resize() never zero-initializes — the executor overwrites
+/// every byte it later hands out — and the allocation is reused across
+/// epochs, so steady-state collectives allocate nothing. Contents are
+/// undefined after a growing resize (the previous bytes are not carried
+/// over, which no collective relies on: each op fills its result from
+/// scratch).
+class ArenaBuffer {
+ public:
+  std::byte* data() { return buf_.get(); }
+  const std::byte* data() const { return buf_.get(); }
+  usize size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  void clear() { len_ = 0; }
+
+  void resize(usize n) {
+    if (n > cap_) {
+      const usize grown = std::max(n, cap_ * 2);
+      buf_ = std::make_unique_for_overwrite<std::byte[]>(grown);
+      cap_ = grown;
+    }
+    len_ = n;
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> buf_;
+  usize cap_ = 0;
+  usize len_ = 0;
 };
 
 /// Double-buffered collective arena (one per parity) — two barriers per
 /// collective suffice because slots of parity e are not republished before
 /// every rank has finished reading epoch e's result (see Comm::collective).
+/// `scratch_a/b` are executor-only scratch vectors (cost matrices, count
+/// staging) pooled across epochs so per-collective allocation churn stays
+/// off the data path.
 struct EpochArena {
   std::vector<PubSlot> slots;
-  std::vector<std::byte> result;
+  ArenaBuffer result;
   std::vector<usize> out_off;
   std::vector<usize> out_len;
+  std::vector<usize> scratch_a;
+  std::vector<usize> scratch_b;
   double sync_time = 0.0;
 };
 

@@ -58,10 +58,26 @@ COMM_OP_METHODS = [
     "gatherv",
     "alltoall",
     "alltoallv",
+    "alltoallv_into",
     "send",
+    "send_borrowed",
     "send_uncharged",
     "recv",
+    "recv_into",
+    "recv_append",
 ]
+
+# A method body satisfies comm-note-op if it hits the hook directly or
+# delegates to one of the internal helpers that do (the single-copy pull
+# protocol and the shared P2P receive path).
+NOTE_OP_HOOKS = (
+    "collective(",
+    "note_op(",
+    "collective_pull(",
+    "alltoallv_pull(",
+    "alltoallv_pull<",
+    "recv_bytes_into(",
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -132,8 +148,8 @@ def check_comm_note_op(findings: list[str]) -> None:
     text = strip_comments_and_strings(raw)
     for method in COMM_OP_METHODS:
         pattern = re.compile(
-            r"(?:^|[ \t])(?:void|T|std::vector<T>|Comm)\s+(%s)\s*\("
-            % re.escape(method),
+            r"(?:^|[ \t])(?:void|T|usize|std::vector<T>|Comm|BorrowToken)"
+            r"\s+(%s)\s*\(" % re.escape(method),
             re.M,
         )
         found_def = False
@@ -142,12 +158,13 @@ def check_comm_note_op(findings: list[str]) -> None:
             if brace < 0:
                 continue
             found_def = True
-            if "collective(" not in body and "note_op(" not in body:
+            if not any(hook in body for hook in NOTE_OP_HOOKS):
                 findings.append(
                     f"{path.relative_to(REPO)}:{line_of(text, m.start(1))}: "
                     f"[comm-note-op] Comm::{method} does not call "
-                    "collective()/note_op() — invisible to the tracer, "
-                    "watchdog, fault injector and race checker"
+                    "collective()/note_op() (or a delegating helper) — "
+                    "invisible to the tracer, watchdog, fault injector and "
+                    "race checker"
                 )
         if not found_def:
             findings.append(
