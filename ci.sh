@@ -149,6 +149,68 @@ for p in 4 8 16; do
       tail -1)
 done
 
+# Fault matrix: every RecoveryMode must complete a correct sort through a
+# crash, a straggler and a lossy network at P in {4, 8, 16} (quickstart's
+# resilient path drives core::sort_resilient end-to-end; the crash schedule
+# lands in the splitter/exchange supersteps, drops exercise the
+# watchdog-driven retry path). quickstart exits non-zero if the output is
+# not globally sorted or the fault budget is exhausted.
+echo "=== fault matrix: quickstart --fault x --recovery ==="
+for p in 4 8 16; do
+  for mode in restart resume shrink; do
+    echo "--- P=${p} mode=${mode}: crash / straggler / drop ---"
+    (cd build-ci-relwithdebinfo &&
+      ./examples/quickstart --ranks="${p}" --keys-per-rank=4000 \
+        --fault=crash --fault-rank=1 --fault-op=12 \
+        --recovery="${mode}" | head -1)
+    (cd build-ci-relwithdebinfo &&
+      ./examples/quickstart --ranks="${p}" --keys-per-rank=4000 \
+        --straggle=0.25 --fault-rank=2 --fault-op=6 \
+        --recovery="${mode}" | head -1)
+    (cd build-ci-relwithdebinfo &&
+      ./examples/quickstart --ranks="${p}" --keys-per-rank=4000 \
+        --drop=0.01 --fault-seed=11 --recovery="${mode}" | head -1)
+  done
+done
+
+# Recovery gate: BENCH_recovery.json must validate, fault-free checkpoint
+# overhead must stay under 10%, and ResumeCheckpoint must beat RestartFull
+# in total simulated time-to-solution for crashes at or after the exchange
+# superstep (DESIGN.md sec. 12 — the point of checkpointing at all).
+echo "=== recovery gate: bench_recovery ==="
+(cd build-ci-relwithdebinfo &&
+  ./bench/bench_recovery --out=BENCH_recovery.json)
+python3 - build-ci-relwithdebinfo/BENCH_recovery.json <<'PYEOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))
+assert isinstance(cells, list) and cells, "empty or malformed JSON"
+for c in cells:
+    for k in ("kind", "nranks", "crash", "mode", "n_per_rank",
+              "sim_seconds", "vs_restart", "overhead_frac",
+              "recomputed_fraction", "recover_s", "attempts",
+              "checkpoint_bytes"):
+        assert k in c, f"missing field {k}: {c}"
+    assert c["kind"] in ("overhead", "crash"), c
+    assert c["sim_seconds"] > 0.0, c
+ovh = [c for c in cells
+       if c["kind"] == "overhead" and c["mode"] == "checkpointed"]
+assert len(ovh) == 3, "expected overhead cells at P in {4, 8, 16}"
+for c in ovh:
+    assert c["overhead_frac"] <= 0.10, (
+        f"checkpoint overhead {c['overhead_frac']:.1%} > 10% "
+        f"at P={c['nranks']}")
+for crash in ("exchange-begin", "exchange-end"):
+    resume = [c for c in cells if c["kind"] == "crash"
+              and c["crash"] == crash and c["mode"] == "ResumeCheckpoint"]
+    assert resume, f"no ResumeCheckpoint cell for {crash}"
+    assert resume[0]["vs_restart"] > 1.0, (
+        f"resume did not beat restart at {crash}: "
+        f"{resume[0]['vs_restart']:.2f}x")
+    assert resume[0]["recomputed_fraction"] < 1.0, resume[0]
+print("recovery gate OK: overhead <= 10% at P in {4,8,16}, resume beats "
+      "restart at/after the exchange superstep")
+PYEOF
+
 # TSan wants debug info and no aggressive inlining to produce usable
 # reports; RelWithDebInfo (-O2 -g) is the supported sweet spot. Benchmarks
 # are excluded — they only add build time and measure nothing under TSan.

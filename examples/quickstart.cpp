@@ -9,18 +9,29 @@
 //
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
 //               [--trace=trace.json] [--check] [--path=pull|packed]
+//               [--fault=crash] [--fault-rank=1] [--fault-op=20]
+//               [--fault-seed=7] [--straggle=0.5] [--drop=0.05]
+//               [--recovery=restart|resume|shrink]
 //
 // --check runs under the hds::check happens-before race checker and exits
 // non-zero if the sort produced any PGAS consistency violation.
 // --path selects the exchange data path (DESIGN.md sec. 11): "pull" is the
 // default single-copy alltoallv_into path, "packed" the legacy arena-staged
 // collective; results and simulated time are identical either way.
+// --fault=crash kills --fault-rank at its --fault-op'th communication op;
+// --straggle=S delays it by S simulated seconds instead; --drop=P drops
+// each message with probability P (seeded by --fault-seed). Any of these
+// switches the example to core::sort_resilient with the --recovery mode
+// (DESIGN.md sec. 12): "restart" re-runs from scratch, "resume" replays
+// from the last checkpointed superstep boundary, "shrink" finishes
+// in-flight on the survivors.
 #include <fstream>
 #include <iostream>
 
 #include "check/race_detector.h"
 #include "core/histogram_sort.h"
 #include "obs/report.h"
+#include "runtime/fault.h"
 #include "runtime/team.h"
 #include "workload/distributions.h"
 
@@ -32,6 +43,13 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool check = false;
   core::DataPath path = core::DataPath::Pull;
+  std::string fault;
+  int fault_rank = 1;
+  u64 fault_op = 20;
+  u64 fault_seed = 7;
+  double straggle_s = 0.0;
+  double drop_p = 0.0;
+  core::RecoveryMode recovery = core::RecoveryMode::ResumeCheckpoint;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--ranks=", 0) == 0) ranks = std::stoi(arg.substr(8));
@@ -51,11 +69,99 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    if (arg.rfind("--fault=", 0) == 0) fault = arg.substr(8);
+    if (arg.rfind("--fault-rank=", 0) == 0)
+      fault_rank = std::stoi(arg.substr(13));
+    if (arg.rfind("--fault-op=", 0) == 0) fault_op = std::stoul(arg.substr(11));
+    if (arg.rfind("--fault-seed=", 0) == 0)
+      fault_seed = std::stoul(arg.substr(13));
+    if (arg.rfind("--straggle=", 0) == 0)
+      straggle_s = std::stod(arg.substr(11));
+    if (arg.rfind("--drop=", 0) == 0) drop_p = std::stod(arg.substr(7));
+    if (arg.rfind("--recovery=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      if (v == "restart") {
+        recovery = core::RecoveryMode::RestartFull;
+      } else if (v == "resume") {
+        recovery = core::RecoveryMode::ResumeCheckpoint;
+      } else if (v == "shrink") {
+        recovery = core::RecoveryMode::ShrinkSurvivors;
+      } else {
+        std::cerr << "unknown --recovery value: " << v
+                  << " (restart|resume|shrink)\n";
+        return 2;
+      }
+    }
+  }
+  if (!fault.empty() && fault != "crash") {
+    std::cerr << "unknown --fault value: " << fault << " (crash)\n";
+    return 2;
+  }
+
+  const bool faulty = fault == "crash" || straggle_s > 0.0 || drop_p > 0.0;
+  std::shared_ptr<runtime::FaultPlan> plan;
+  if (faulty) {
+    plan = std::make_shared<runtime::FaultPlan>(fault_seed);
+    if (fault == "crash") plan->crash_rank_at_op(fault_rank, fault_op);
+    if (straggle_s > 0.0)
+      plan->delay_rank_at_op(fault_rank, fault_op, straggle_s);
+    if (drop_p > 0.0) plan->drop_messages_with_probability(drop_p);
   }
 
   runtime::TeamConfig tcfg{.nranks = ranks, .trace = !trace_path.empty()};
   tcfg.check.enabled = check;
+  tcfg.fault = plan;
+  if (faulty) tcfg.watchdog_timeout_s = 10.0;
   runtime::Team team(tcfg);
+
+  if (faulty) {
+    // Resilient path: the whole input lives in per-rank partitions so a
+    // failed attempt can restart (or the survivors can absorb a dead
+    // rank's shard) from pristine state.
+    std::vector<std::vector<u64>> parts(static_cast<usize>(ranks));
+    workload::GenConfig gen;
+    gen.seed = 2026;
+    for (int r = 0; r < ranks; ++r)
+      parts[static_cast<usize>(r)] =
+          workload::generate_u64(gen, r, ranks, keys_per_rank);
+
+    core::SortConfig cfg;
+    cfg.epsilon = epsilon;
+    cfg.path = path;
+    core::ResilienceConfig rcfg;
+    rcfg.mode = recovery;
+    core::ResilienceReport rep;
+    try {
+      (void)core::sort_resilient(team, parts, cfg, rcfg, &rep);
+    } catch (const std::exception& e) {
+      std::cerr << "sort_resilient gave up: " << e.what() << "\n";
+      return 1;
+    }
+
+    bool sorted = true;
+    u64 prev = 0;
+    usize total = 0;
+    for (const auto& p : parts)
+      for (const u64 v : p) {
+        if (total > 0 && v < prev) sorted = false;
+        prev = v;
+        ++total;
+      }
+    std::cout << "resilient sort (" << core::recovery_mode_name(recovery)
+              << "): " << (sorted ? "globally sorted" : "FAILED") << ", "
+              << total << " keys\n"
+              << "  attempts             : " << rep.attempts << "\n"
+              << "  rank failures        : " << rep.failures << "\n"
+              << "  in-flight recoveries : " << rep.recoveries << "\n"
+              << "  recomputed fraction  : " << rep.recomputed_fraction
+              << "\n"
+              << "  checkpoint bytes     : " << rep.checkpoint_bytes << "\n"
+              << "  output ranks         : " << rep.final_ranks.size()
+              << " of " << ranks << "\n"
+              << "simulated time-to-solution: " << rep.sim_seconds_total
+              << " s\n";
+    return sorted ? 0 : 1;
+  }
 
   team.run([&](runtime::Comm& comm) {
     // 1. Each rank owns a local partition — here: random 64-bit keys.

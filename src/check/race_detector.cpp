@@ -22,6 +22,7 @@ Shape shape_of(obs::OpKind op) {
     case obs::OpKind::Alltoall:
     case obs::OpKind::Alltoallv:
     case obs::OpKind::Split:
+    case obs::OpKind::Agree:  // survivor agreement: full join over survivors
       return Shape::FullJoin;
     case obs::OpKind::Broadcast:
     case obs::OpKind::Gatherv:

@@ -17,7 +17,12 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <span>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/exchange.h"
@@ -26,6 +31,8 @@
 #include "core/merge.h"
 #include "core/multiselect.h"
 #include "core/selection.h"
+#include "core/superstep.h"
+#include "runtime/checkpoint.h"
 #include "runtime/comm.h"
 
 namespace hds::core {
@@ -60,45 +67,35 @@ struct SortConfig {
   bool input_is_sorted = false;
 };
 
-struct SortStats {
-  usize histogram_iterations = 0;
-  usize splitter_probes = 0;
-  usize elements_sent_off_rank = 0;  ///< this rank's off-rank sends
-  usize elements_before = 0;
-  usize elements_after = 0;
-  /// Per-round max relative boundary error of the splitter search (one
-  /// entry per histogram round, identical on every rank) — lets the
-  /// convergence curve of the paper's Table 3 be plotted, not just the
-  /// final iteration count.
-  std::vector<double> histogram_convergence;
-};
-
-/// Sort a distributed vector by a key projection with an explicit output
-/// capacity per rank (`out_capacity` = this rank's share; capacities must
-/// globally sum to N). This is the general entry point: the std::sort-like
-/// overloads below derive capacities from the input distribution (the
-/// paper's perfect-partitioning contract), while passing explicit
-/// capacities rebalances arbitrary (e.g. sparse) inputs in the same single
-/// data movement — the conclusion's sparse-matrix use case.
+/// The unsigned key image type the splitter search runs over, for a given
+/// element type and key projection.
 template <class T, class KeyFn>
-SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
-                           KeyFn key, usize out_capacity,
-                           const SortConfig& cfg = {}) {
-  SortStats stats;
-  stats.elements_before = local.size();
+using SortKeyImage = typename KeyTraits<
+    std::decay_t<decltype(std::declval<KeyFn>()(std::declval<T>()))>>::
+    uint_type;
 
-  // Superstep 1: local sort.
-  {
-    net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
-    if (!cfg.input_is_sorted) local_sort(comm, local, key, cfg.kernel);
-  }
+/// Superstep 1 (Start -> LocalSorted): fast shared-memory sort of the
+/// local partition.
+template <class T, class UK, class KeyFn>
+void superstep_local_sort(runtime::Comm& comm, SortState<T, UK>& st,
+                          KeyFn key, const SortConfig& cfg) {
+  net::PhaseScope phase(comm.clock(), net::Phase::LocalSort);
+  if (!cfg.input_is_sorted) local_sort(comm, st.data, key, cfg.kernel);
+}
 
-  // Targets: prefix sums of the output capacities (Def. 3).
+/// Superstep 2 (LocalSorted -> SplittersReady): exchange capacities, build
+/// the target ranks (Def. 3), and run the distributed multiselection.
+template <class T, class UK, class KeyFn>
+void superstep_splitters(runtime::Comm& comm, SortState<T, UK>& st,
+                         KeyFn key, const SortConfig& cfg) {
+  // Targets: prefix sums of the output capacities (Def. 3). Recomputed
+  // here rather than carried in SortState so a resumed-or-shrunken run
+  // derives them from the current communicator and capacities.
   std::vector<usize> targets;
   {
     net::PhaseScope phase(comm.clock(), net::Phase::Histogram);
-    const u64 mine_in = local.size();
-    const u64 mine_out = out_capacity;
+    const u64 mine_in = st.data.size();
+    const u64 mine_out = st.out_capacity;
     std::vector<u64> in_caps(comm.size()), out_caps(comm.size());
     comm.allgather(&mine_in, 1, in_caps.data());
     comm.allgather(&mine_out, 1, out_caps.data());
@@ -119,45 +116,118 @@ SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
     }
   }
 
-  // Superstep 2: splitter determination.
   MultiselectConfig mcfg;
   mcfg.epsilon = cfg.epsilon;
   mcfg.init = cfg.init;
   mcfg.sample_per_rank = cfg.sample_per_rank;
-  const auto splitters = find_splitters(
-      comm, std::span<const T>(local.data(), local.size()), key,
+  st.splitters = find_splitters(
+      comm, std::span<const T>(st.data.data(), st.data.size()), key,
       std::span<const usize>(targets), mcfg);
-  stats.histogram_iterations = splitters.iterations;
-  stats.splitter_probes = splitters.probes_total;
-  stats.histogram_convergence = splitters.convergence;
+  st.stats.histogram_iterations = st.splitters.iterations;
+  st.stats.splitter_probes = st.splitters.probes_total;
+  st.stats.histogram_convergence = st.splitters.convergence;
+}
 
-  // Superstep 3: data exchange.
-  const std::span<const T> sorted_view(local.data(), local.size());
+/// Superstep 3 (SplittersReady -> Exchanged): permutation matrix + data
+/// exchange. st.data becomes the received chunk concatenation.
+template <class T, class UK, class KeyFn>
+void superstep_exchange(runtime::Comm& comm, SortState<T, UK>& st,
+                        KeyFn key, const SortConfig& cfg) {
+  const std::span<const T> sorted_view(st.data.data(), st.data.size());
   ExchangeResult<T> ex;
   switch (cfg.exchange) {
     case ExchangeAlgorithm::OneFactor:
-      ex = exchange_one_factor(comm, sorted_view, splitters, key,
+      ex = exchange_one_factor(comm, sorted_view, st.splitters, key,
                                cfg.overlap_merge, cfg.path);
       break;
     case ExchangeAlgorithm::Hypercube:
-      ex = exchange_hypercube(comm, sorted_view, splitters, cfg.path);
+      ex = exchange_hypercube(comm, sorted_view, st.splitters, cfg.path);
       break;
     case ExchangeAlgorithm::Hierarchical:
-      ex = exchange_hierarchical(comm, sorted_view, splitters, cfg.path);
+      ex = exchange_hierarchical(comm, sorted_view, st.splitters, cfg.path);
       break;
     case ExchangeAlgorithm::Alltoallv:
-      ex = exchange(comm, sorted_view, splitters, cfg.path);
+      ex = exchange(comm, sorted_view, st.splitters, cfg.path);
       break;
   }
-  stats.elements_sent_off_rank = ex.elements_sent_off_rank;
+  st.stats.elements_sent_off_rank = ex.elements_sent_off_rank;
+  st.data = std::move(ex.data);
+  st.recv_counts = std::move(ex.recv_counts);
+}
 
-  // Superstep 4: local merge of the received sorted chunks.
-  merge_chunks(comm, ex.data, std::span<const usize>(ex.recv_counts),
+/// Superstep 4 (Exchanged -> Done): local merge of the received chunks.
+template <class T, class UK, class KeyFn>
+void superstep_merge(runtime::Comm& comm, SortState<T, UK>& st, KeyFn key,
+                     const SortConfig& cfg) {
+  merge_chunks(comm, st.data, std::span<const usize>(st.recv_counts),
                cfg.merge, key, cfg.kernel);
+  st.recv_counts.clear();
+  st.stats.elements_after = st.data.size();
+}
 
-  local = std::move(ex.data);
-  stats.elements_after = local.size();
-  return stats;
+/// Run the next superstep of `st` and advance the state machine. With a
+/// CheckpointStore, the new boundary state is serialized and replicated to
+/// the buddy rank (Done is not checkpointed — the output is committed).
+/// With store == nullptr no extra communication op or charge is issued, so
+/// simulated times are bit-identical to the pre-state-machine sort.
+template <class T, class UK, class KeyFn>
+void advance_superstep(runtime::Comm& comm, SortState<T, UK>& st, KeyFn key,
+                       const SortConfig& cfg,
+                       runtime::CheckpointStore* store = nullptr) {
+  switch (st.completed) {
+    case SuperstepId::Start:
+      superstep_local_sort(comm, st, key, cfg);
+      st.completed = SuperstepId::LocalSorted;
+      break;
+    case SuperstepId::LocalSorted:
+      superstep_splitters(comm, st, key, cfg);
+      st.completed = SuperstepId::SplittersReady;
+      break;
+    case SuperstepId::SplittersReady:
+      superstep_exchange(comm, st, key, cfg);
+      st.completed = SuperstepId::Exchanged;
+      break;
+    case SuperstepId::Exchanged:
+      superstep_merge(comm, st, key, cfg);
+      st.completed = SuperstepId::Done;
+      break;
+    case SuperstepId::Done:
+      return;
+  }
+  comm.metrics().add(obs::Counter::SuperstepsExecuted, 1);
+  if (store != nullptr && st.completed != SuperstepId::Done)
+    comm.checkpoint_to_buddy(*store, static_cast<u64>(st.completed),
+                             detail::serialize_state(st));
+}
+
+/// Sort a distributed vector by a key projection with an explicit output
+/// capacity per rank (`out_capacity` = this rank's share; capacities must
+/// globally sum to N). This is the general entry point: the std::sort-like
+/// overloads below derive capacities from the input distribution (the
+/// paper's perfect-partitioning contract), while passing explicit
+/// capacities rebalances arbitrary (e.g. sparse) inputs in the same single
+/// data movement — the conclusion's sparse-matrix use case.
+///
+/// With a CheckpointStore the state is additionally checkpointed at every
+/// superstep boundary (including the raw input at Start), enabling
+/// RecoveryMode::ResumeCheckpoint / ShrinkSurvivors in sort_resilient.
+template <class T, class KeyFn>
+SortStats sort_to_capacity(runtime::Comm& comm, std::vector<T>& local,
+                           KeyFn key, usize out_capacity,
+                           const SortConfig& cfg = {},
+                           runtime::CheckpointStore* store = nullptr) {
+  using UK = SortKeyImage<T, KeyFn>;
+  SortState<T, UK> st;
+  st.out_capacity = out_capacity;
+  st.data = std::move(local);
+  st.stats.elements_before = st.data.size();
+  if (store != nullptr)
+    comm.checkpoint_to_buddy(*store, static_cast<u64>(SuperstepId::Start),
+                             detail::serialize_state(st));
+  while (st.completed != SuperstepId::Done)
+    advance_superstep(comm, st, key, cfg, store);
+  local = std::move(st.data);
+  return st.stats;
 }
 
 /// Sort a distributed vector by a key projection; the output distribution
@@ -290,6 +360,347 @@ bool is_globally_sorted(runtime::Comm& comm, std::span<const T> local,
   const u8 all =
       comm.allreduce_value<u8>(ok ? 1 : 0, [](u8 a, u8 b) -> u8 { return a & b; });
   return all != 0;
+}
+
+// --- failure recovery --------------------------------------------------------
+
+/// How sort_resilient reacts to a rank failure.
+enum class RecoveryMode : u8 {
+  /// Discard the attempt and re-run from the caller's input on the full
+  /// team (the legacy retry semantics; no checkpointing overhead).
+  RestartFull,
+  /// Checkpoint every superstep boundary; after a failure, re-run on the
+  /// same rank count resuming from the last boundary every rank can
+  /// restore — only the interrupted superstep is replayed.
+  ResumeCheckpoint,
+  /// Recover in-flight (requires no re-run): survivors agree on the
+  /// shrunken team, absorb the dead ranks' checkpointed shards, and finish
+  /// the sort on P-1 ranks with rebalanced output capacities.
+  ShrinkSurvivors,
+};
+
+constexpr std::string_view recovery_mode_name(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::RestartFull:
+      return "RestartFull";
+    case RecoveryMode::ResumeCheckpoint:
+      return "ResumeCheckpoint";
+    case RecoveryMode::ShrinkSurvivors:
+      return "ShrinkSurvivors";
+  }
+  return "?";
+}
+
+struct ResilienceConfig {
+  RecoveryMode mode = RecoveryMode::RestartFull;
+  /// Rank failures tolerated before the sort gives up and rethrows.
+  int fault_budget = 3;
+  /// Wall-clock backoff before a re-attempt, doubled (by `backoff_multiplier`)
+  /// after each failed attempt.
+  double backoff_s = 0.0;
+  double backoff_multiplier = 2.0;
+};
+
+/// What recovery actually cost, aggregated over every attempt of one
+/// sort_resilient call (metrics-derived; see obs/metrics.h).
+struct ResilienceReport {
+  int attempts = 0;       ///< Team::run attempts used
+  usize failures = 0;     ///< rank failures absorbed or retried through
+  u64 recoveries = 0;     ///< in-flight survivor agreements (ShrinkSurvivors)
+  usize supersteps_executed = 0;  ///< summed over ranks and attempts
+  usize supersteps_minimum = 0;   ///< fault-free floor: kSupersteps * P
+  /// (supersteps_executed - supersteps_minimum) / supersteps_minimum: 0 for
+  /// a fault-free run; < 1.0 whenever recovery beat a full re-execution.
+  double recomputed_fraction = 0.0;
+  u64 checkpoint_bytes = 0;  ///< total bytes replicated to buddies
+  /// Simulated time-to-solution: attempt makespans summed, aborted
+  /// attempts included (their clocks stop at the failure).
+  double sim_seconds_total = 0.0;
+  /// Simulated seconds from each survivor noticing a failure to agreement
+  /// completion (one entry per survivor per agreement).
+  std::vector<double> recovery_seconds;
+  /// Ranks holding output partitions (all of them, or the survivors).
+  std::vector<rank_t> final_ranks;
+};
+
+namespace detail {
+
+/// Restore a survivor's SortState after a shrink agreement: every survivor
+/// marks the dead ranks' memory lost, picks the deepest superstep boundary
+/// every original rank can still serve (clamped to LocalSorted — splitter
+/// and exchange state are bound to the old rank count), reloads its own
+/// boundary state, absorbs its slice of each dead rank's checkpointed
+/// shard, and rebalances the output capacities over the survivors. Throws
+/// (plain runtime_error, unrecoverable for this attempt) when a dead
+/// rank's checkpoint is gone because its buddy died too.
+template <class T, class UK, class KeyFn>
+SortState<T, UK> shrink_restore(runtime::Comm& c,
+                                runtime::CheckpointStore& store, KeyFn key) {
+  const int Q = c.size();
+  const int P = store.nranks();
+  std::vector<rank_t> dead;
+  for (rank_t r = 0; r < static_cast<rank_t>(P); ++r) {
+    bool live = false;
+    for (int i = 0; i < Q; ++i)
+      if (c.world_rank_of(i) == r) live = true;
+    if (!live) dead.push_back(r);
+  }
+  // Each survivor marks every dead rank itself (idempotent, thread-safe)
+  // before reading availability, so its own view is final.
+  for (rank_t d : dead) store.mark_lost(d);
+
+  i64 common = std::numeric_limits<i64>::max();
+  for (rank_t r = 0; r < static_cast<rank_t>(P); ++r)
+    common = std::min(common, store.latest_step(r));
+  if (common < 0)
+    throw std::runtime_error(
+        "hds: shrink recovery impossible — a failed rank has no surviving "
+        "checkpoint (owner and buddy both failed, or it died before its "
+        "first checkpoint)");
+  const u64 resume =
+      std::min(static_cast<u64>(common),
+               static_cast<u64>(SuperstepId::LocalSorted));
+
+  auto own = c.fetch_checkpoint(store, c.world_rank(), resume);
+  HDS_CHECK_MSG(own.has_value(),
+                "survivor checkpoint missing at resume boundary " << resume);
+  auto st = deserialize_state<T, UK>(own->bytes);
+  const bool sorted = st.completed != SuperstepId::Start;
+
+  for (rank_t d : dead) {
+    auto blob = c.fetch_checkpoint(store, d, resume);
+    if (!blob)
+      throw std::runtime_error(
+          "hds: shrink recovery impossible — failed rank's checkpoint lost "
+          "(its buddy failed too)");
+    auto dead_st = deserialize_state<T, UK>(blob->bytes);
+    const auto& shard = dead_st.data;
+    // Survivor i absorbs the i-th contiguous slice of the dead shard. At a
+    // sorted boundary the slices are sorted runs, merged in; at Start the
+    // raw slice is appended and the local-sort superstep handles it.
+    const usize n = shard.size();
+    const usize i = static_cast<usize>(c.rank());
+    const usize lo = n * i / static_cast<usize>(Q);
+    const usize hi = n * (i + 1) / static_cast<usize>(Q);
+    if (hi > lo) {
+      const usize old = st.data.size();
+      st.data.insert(st.data.end(), shard.begin() + static_cast<std::ptrdiff_t>(lo),
+                     shard.begin() + static_cast<std::ptrdiff_t>(hi));
+      if (sorted) {
+        std::inplace_merge(
+            st.data.begin(),
+            st.data.begin() + static_cast<std::ptrdiff_t>(old),
+            st.data.end(),
+            [&](const T& a, const T& b) { return key(a) < key(b); });
+        c.charge_merge_pass(st.data.size());
+      }
+    }
+  }
+
+  // Rebalance the output over the survivors: even shares of N (the
+  // load-balance-after-shrink move, PAPERS.md arxiv 1611.00463).
+  const u64 n = c.allreduce_value<u64>(static_cast<u64>(st.data.size()),
+                                       [](u64 a, u64 b) { return a + b; });
+  const usize base = static_cast<usize>(n) / static_cast<usize>(Q);
+  const usize extra = static_cast<usize>(n) % static_cast<usize>(Q);
+  st.out_capacity = base + (static_cast<usize>(c.rank()) < extra ? 1 : 0);
+  st.completed = static_cast<SuperstepId>(resume);
+  st.splitters = {};
+  st.recv_counts.clear();
+  return st;
+}
+
+}  // namespace detail
+
+/// Resilient end-to-end sort with an explicit recovery mode (the legacy
+/// RetryPolicy overloads below keep the restart-only semantics). The
+/// caller's input partitions are preserved until success; on success they
+/// are replaced by the sorted output — under ShrinkSurvivors the failed
+/// ranks' entries come back empty and the survivors hold rebalanced even
+/// shares, in rank order, so the concatenation over all P entries is still
+/// the globally sorted sequence. Rethrows the last error once more than
+/// `rcfg.fault_budget` failures have been spent.
+template <class T, class KeyFn>
+SortStats sort_resilient(runtime::Team& team,
+                         std::vector<std::vector<T>>& partitions, KeyFn key,
+                         const SortConfig& cfg, const ResilienceConfig& rcfg,
+                         ResilienceReport* report = nullptr) {
+  using UK = SortKeyImage<T, KeyFn>;
+  const int P = team.size();
+  HDS_CHECK_MSG(partitions.size() == static_cast<usize>(P),
+                "sort_resilient: need one input partition per rank ("
+                    << partitions.size() << " given, team size " << P << ")");
+  HDS_CHECK(rcfg.fault_budget >= 0);
+
+  ResilienceReport rep;
+  rep.supersteps_minimum = kSupersteps * static_cast<usize>(P);
+
+  runtime::CheckpointStore store(P);
+  std::vector<std::vector<T>> work(partitions.size());
+  std::vector<SortStats> per_rank(partitions.size());
+  const bool use_ckpt = rcfg.mode != RecoveryMode::RestartFull;
+  const bool shrink = rcfg.mode == RecoveryMode::ShrinkSurvivors;
+
+  // Restore the team's failure semantics on every exit path.
+  struct RecoverableGuard {
+    runtime::Team& t;
+    bool prev;
+    ~RecoverableGuard() { t.set_recoverable(prev); }
+  } guard{team, team.config().recoverable};
+  team.set_recoverable(shrink);
+
+  auto collect_run_metrics = [&] {
+    for (int r = 0; r < P; ++r) {
+      const obs::Metrics& m = team.metrics(r);
+      rep.supersteps_executed += m.value(obs::Counter::SuperstepsExecuted);
+      rep.checkpoint_bytes += m.value(obs::Counter::CheckpointBytes);
+      for (double v : m.series(obs::Series::RecoverySeconds))
+        rep.recovery_seconds.push_back(v);
+    }
+    rep.recoveries += team.recovery_rounds();
+    rep.failures += team.failures().size();
+    rep.sim_seconds_total += team.stats().makespan_s;
+  };
+
+  // One attempt body. RestartFull and ResumeCheckpoint run it on the full
+  // team; ShrinkSurvivors additionally recovers in-flight inside it.
+  auto fn = [&](runtime::Comm& world) {
+    const int wr = world.rank();
+    runtime::Comm c = world;
+    SortConfig ccfg = cfg;
+    SortState<T, UK> st;
+    bool fresh = true;
+
+    if (use_ckpt && !shrink) {
+      // Resume boundary: the deepest superstep every rank can restore
+      // (checkpoints are boundary-complete prefixes, so agreement on the
+      // minimum suffices). -1 = someone lost everything -> fresh restart.
+      const i64 mine = store.latest_step(wr);
+      const i64 common = c.allreduce_value<i64>(
+          mine, [](i64 a, i64 b) { return std::min(a, b); });
+      if (common >= 0) {
+        auto blob =
+            c.fetch_checkpoint(store, wr, static_cast<u64>(common));
+        HDS_CHECK_MSG(blob.has_value(),
+                      "resume checkpoint vanished between agreement and "
+                      "restore");
+        st = detail::deserialize_state<T, UK>(blob->bytes);
+        fresh = false;
+      }
+    }
+
+    for (;;) {
+      try {
+        if (fresh) {
+          st = SortState<T, UK>{};
+          st.out_capacity = work[wr].size();
+          st.data = std::move(work[wr]);
+          st.stats.elements_before = st.data.size();
+          if (use_ckpt)
+            c.checkpoint_to_buddy(store,
+                                  static_cast<u64>(SuperstepId::Start),
+                                  detail::serialize_state(st));
+          fresh = false;
+        }
+        while (st.completed != SuperstepId::Done)
+          advance_superstep(c, st, key, ccfg,
+                            use_ckpt ? &store : nullptr);
+        HDS_CHECK_MSG(
+            is_globally_sorted(
+                c, std::span<const T>(st.data.data(), st.data.size()), key),
+            "sort_resilient: output violates the global sort invariant");
+        break;
+      } catch (const runtime::team_aborted&) {
+        if (!shrink) throw;
+        if (static_cast<int>(c.team().failures().size()) > rcfg.fault_budget)
+          throw;  // budget exhausted: let the run fail
+        c = c.recover_survivors();  // throws team_aborted if unrecoverable
+        st = detail::shrink_restore<T, UK>(c, store, key);
+        // Post-shrink supersteps run on a subteam of arbitrary size:
+        // hypercube (power-of-two only) and hierarchical (world-only)
+        // exchanges are invalid there, and the restored runs are already
+        // sorted or about to be re-sorted.
+        ccfg.exchange = ExchangeAlgorithm::Alltoallv;
+        ccfg.input_is_sorted = false;
+      }
+    }
+    per_rank[wr] = st.stats;
+    work[wr] = std::move(st.data);
+  };
+
+  double backoff = rcfg.backoff_s;
+  int failures_spent = 0;
+  for (;;) {
+    ++rep.attempts;
+    work = partitions;
+    per_rank.assign(partitions.size(), SortStats{});
+    if (shrink) store.clear();  // in-flight recovery only; attempts restart
+    try {
+      team.run(fn);
+      collect_run_metrics();
+      break;
+    } catch (...) {
+      collect_run_metrics();
+      const int new_failures =
+          std::max(1, static_cast<int>(team.failures().size()));
+      failures_spent += new_failures;
+      if (failures_spent > rcfg.fault_budget) {
+        if (report) {
+          rep.recomputed_fraction =
+              rep.supersteps_minimum == 0
+                  ? 0.0
+                  : (static_cast<double>(rep.supersteps_executed) -
+                     static_cast<double>(rep.supersteps_minimum)) /
+                        static_cast<double>(rep.supersteps_minimum);
+          *report = rep;
+        }
+        throw;
+      }
+      // The failed ranks' memory is gone: drop their primaries (and the
+      // replicas they held) so the next attempt restores from buddies.
+      for (rank_t f : team.failures()) store.mark_lost(f);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= rcfg.backoff_multiplier;
+      }
+    }
+  }
+
+  rep.final_ranks.clear();
+  const std::vector<rank_t> failed = team.failures();
+  for (rank_t r = 0; r < static_cast<rank_t>(P); ++r)
+    if (std::find(failed.begin(), failed.end(), r) == failed.end())
+      rep.final_ranks.push_back(r);
+  rep.recomputed_fraction =
+      rep.supersteps_minimum == 0
+          ? 0.0
+          : std::max(0.0, (static_cast<double>(rep.supersteps_executed) -
+                           static_cast<double>(rep.supersteps_minimum)) /
+                              static_cast<double>(rep.supersteps_minimum));
+
+  partitions = std::move(work);
+  SortStats agg;
+  for (const SortStats& s : per_rank) {
+    agg.histogram_iterations =
+        std::max(agg.histogram_iterations, s.histogram_iterations);
+    agg.splitter_probes = std::max(agg.splitter_probes, s.splitter_probes);
+    agg.elements_sent_off_rank += s.elements_sent_off_rank;
+    agg.elements_before += s.elements_before;
+    agg.elements_after += s.elements_after;
+    if (agg.histogram_convergence.empty())
+      agg.histogram_convergence = s.histogram_convergence;
+  }
+  if (report) *report = rep;
+  return agg;
+}
+
+/// Key-less convenience overload of the recovery-mode sort_resilient.
+template <class T>
+SortStats sort_resilient(runtime::Team& team,
+                         std::vector<std::vector<T>>& partitions,
+                         const SortConfig& cfg, const ResilienceConfig& rcfg,
+                         ResilienceReport* report = nullptr) {
+  return sort_resilient(team, partitions, IdentityKey{}, cfg, rcfg, report);
 }
 
 }  // namespace hds::core

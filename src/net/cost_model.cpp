@@ -179,6 +179,17 @@ double CostModel::p2p(rank_t src_world, rank_t dst_world, usize bytes,
          m / machine_.p2p_bandwidth(src_world, dst_world);
 }
 
+double CostModel::checkpoint(rank_t src_world, rank_t buddy_world, usize bytes,
+                             Traffic t) const {
+  return machine_.checkpoint_overlap_residue *
+         p2p(src_world, buddy_world, bytes, t);
+}
+
+double CostModel::detect_and_agree(int survivors) const {
+  const double stages = log2d(static_cast<double>(std::max(survivors, 2)));
+  return machine_.fault_detect_s + machine_.agree_stage_s * stages;
+}
+
 double CostModel::sort(usize n) const {
   const double m = scaled(n);
   return m <= 1.0 ? 0.0 : machine_.sort_s_per_elem_log * m * log2d(m);

@@ -66,6 +66,16 @@ class CostModel {
   /// Point-to-point message.
   double p2p(rank_t src_world, rank_t dst_world, usize bytes, Traffic t) const;
 
+  // --- failure recovery (PR 6) ---------------------------------------------
+  /// Critical-path cost of shipping a `bytes` checkpoint to the buddy rank.
+  /// The transfer overlaps the next superstep's computation, so only the
+  /// machine's overlap residue of the p2p cost is charged.
+  double checkpoint(rank_t src_world, rank_t buddy_world, usize bytes,
+                    Traffic t) const;
+  /// Cost of detecting a failed peer plus the survivor agreement round that
+  /// adopts the new communicator (log2(survivors) agreement stages).
+  double detect_and_agree(int survivors) const;
+
   // --- computation costs (seconds), all using scaled element counts --------
   double sort(usize n) const;
   /// LSD radix sort that executed `passes` scatter passes over n elements

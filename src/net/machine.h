@@ -70,6 +70,20 @@ struct MachineModel {
   /// optimization of Sec. VI-A1). Disable for the ablation study.
   bool intra_node_shortcut = true;
 
+  // --- failure recovery (PR 6) ---------------------------------------------
+  /// Fraction of a checkpoint's buddy-transfer cost that lands on the
+  /// critical path. Checkpoints ship to the buddy asynchronously while the
+  /// next superstep's computation runs, so only this overlap residue is
+  /// charged to the rank's clock (the rest rides in network slack).
+  double checkpoint_overlap_residue = 0.25;
+  /// Time for survivors to *detect* a failed peer: the failure detector's
+  /// timeout plus RDMA read probes (ULFM-style revoke propagation).
+  double fault_detect_s = 5.0e-4;
+  /// Per-survivor-stage cost of the agreement round that adopts the new
+  /// survivor set and rebuilds the communicator (log P stages of an
+  /// MPI_Comm_shrink-like agreement, each paying collective overhead).
+  double agree_stage_s = 2.5e-4;
+
   // --- descriptive metadata (Table I) ---------------------------------------
   std::string cpu = "2 x Intel Xeon E5-2697v3 (Haswell, 14c, 2.6 GHz)";
   std::string memory = "64 GB (56 GB usable)";

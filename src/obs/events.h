@@ -35,6 +35,16 @@ enum class OpKind : u32 {
   /// communication ops. Never passes through Comm::note_op, so fault-plan
   /// op ids are unaffected.
   Compute,
+  // Recovery ops (PR 6). Appended after Compute so every pre-existing op
+  // keeps its numeric id (fault-plan op ids and archived traces depend on
+  // the values above).
+  /// Survivor agreement round after a rank failure: the deterministic
+  /// rendezvous in which the survivors adopt a common survivor set and a
+  /// fresh communicator. Charged only on the recovery path.
+  Agree,
+  /// Superstep-boundary checkpoint: snapshot of a rank's compact sort state
+  /// replicated to its buddy rank.
+  Checkpoint,
 };
 
 constexpr std::string_view op_kind_name(OpKind op) {
@@ -54,6 +64,8 @@ constexpr std::string_view op_kind_name(OpKind op) {
     case OpKind::Send: return "Send";
     case OpKind::Recv: return "Recv";
     case OpKind::Compute: return "compute";
+    case OpKind::Agree: return "Agree";
+    case OpKind::Checkpoint: return "Checkpoint";
   }
   return "?";
 }

@@ -25,8 +25,13 @@ enum class Counter : u8 {
   /// comparison-based strategies (BinaryTree, Tournament); the Sort
   /// strategy's radix path does no comparisons.
   MergeComparisons,
+  // Recovery counters (PR 6).
+  CheckpointBytes,      ///< serialized checkpoint bytes shipped to the buddy
+  CheckpointCount,      ///< superstep-boundary checkpoints taken
+  SuperstepsExecuted,   ///< sort supersteps this rank actually ran
+  RecoveryCount,        ///< failure-recovery rounds this rank participated in
 };
-inline constexpr usize kCounterCount = 6;
+inline constexpr usize kCounterCount = 10;
 
 constexpr std::string_view counter_name(Counter c) {
   switch (c) {
@@ -36,6 +41,10 @@ constexpr std::string_view counter_name(Counter c) {
     case Counter::ExchangeBytesOffNode: return "exchange_bytes_off_node";
     case Counter::ExchangeElementsKept: return "exchange_elements_kept";
     case Counter::MergeComparisons: return "merge_comparisons";
+    case Counter::CheckpointBytes: return "checkpoint_bytes";
+    case Counter::CheckpointCount: return "checkpoint_count";
+    case Counter::SuperstepsExecuted: return "supersteps_executed";
+    case Counter::RecoveryCount: return "recovery_count";
   }
   return "?";
 }
@@ -46,12 +55,16 @@ enum class Series : u8 {
   /// boundary is within its tolerance window). The convergence curve of
   /// the paper's Table 3.
   HistogramConvergence = 0,
+  /// One value per recovery round: simulated seconds from the failure
+  /// becoming visible to this rank until the survivor agreement completed.
+  RecoverySeconds,
 };
-inline constexpr usize kSeriesCount = 1;
+inline constexpr usize kSeriesCount = 2;
 
 constexpr std::string_view series_name(Series s) {
   switch (s) {
     case Series::HistogramConvergence: return "histogram_convergence";
+    case Series::RecoverySeconds: return "recovery_seconds";
   }
   return "?";
 }

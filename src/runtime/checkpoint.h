@@ -1,0 +1,141 @@
+// In-memory buddy-replicated checkpoint store (PR 6).
+//
+// Models the checkpointing substrate of a shrink-to-survivors recovery
+// scheme (ULFM-style, PAPERS.md arxiv 1610.01482): at every superstep
+// boundary each rank serializes its compact sort state and replicates it to
+// a buddy rank, so a single rank failure never loses state — the primary
+// copy dies with the owner, the replica survives on the buddy. The store is
+// process memory standing in for the ranks' address spaces; which copies a
+// failure destroys is tracked explicitly (mark_lost), and the runtime
+// charges the simulated transfer costs through Comm::checkpoint_to_buddy /
+// Comm::fetch_checkpoint so the machine model sees every byte that would
+// cross the wire.
+//
+// Thread-safe: rank threads save concurrently; loads and mark_lost are
+// called from recovery paths. One store instance spans the attempts of a
+// resilient sort, so it deliberately lives OUTSIDE Team::run state.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace hds::runtime {
+
+/// One loaded checkpoint: the serialized state plus where it was served
+/// from, so the caller can charge the transfer if it crossed ranks.
+struct CheckpointBlob {
+  u64 step = 0;
+  std::vector<std::byte> bytes;
+  rank_t holder = -1;         ///< world rank whose memory served the copy
+  bool from_replica = false;  ///< true if the primary was lost
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int nranks) : entries_(static_cast<usize>(nranks)) {
+    HDS_CHECK(nranks >= 1);
+  }
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  int nranks() const { return static_cast<int>(entries_.size()); }
+
+  /// Default replication placement: the next rank, cyclically — adjacent
+  /// ranks share a node under blockwise layout, which keeps the replication
+  /// traffic on the cheap intra-node path for all but one rank per node.
+  static rank_t buddy_of(rank_t r, int nranks) {
+    return (r + 1) % static_cast<rank_t>(nranks);
+  }
+
+  /// Store `owner`'s checkpoint for superstep boundary `step`: primary in
+  /// the owner's memory, replica in `buddy`'s. Overwrites any previous
+  /// checkpoint at the same step (retries re-execute boundaries).
+  void save(rank_t owner, rank_t buddy, u64 step,
+            std::vector<std::byte> bytes) {
+    std::lock_guard lock(mu_);
+    auto& slots = entries_.at(static_cast<usize>(owner));
+    for (auto& e : slots) {
+      if (e.step == step) {
+        e = Entry{step, buddy, true, true, std::move(bytes)};
+        return;
+      }
+    }
+    slots.push_back(Entry{step, buddy, true, true, std::move(bytes)});
+  }
+
+  /// Highest step for which a copy of `owner`'s checkpoint survives, or -1.
+  i64 latest_step(rank_t owner) const {
+    std::lock_guard lock(mu_);
+    i64 best = -1;
+    for (const auto& e : entries_.at(static_cast<usize>(owner)))
+      if ((e.primary || e.replica) && static_cast<i64>(e.step) > best)
+        best = static_cast<i64>(e.step);
+    return best;
+  }
+
+  bool available(rank_t owner, u64 step) const {
+    std::lock_guard lock(mu_);
+    for (const auto& e : entries_.at(static_cast<usize>(owner)))
+      if (e.step == step) return e.primary || e.replica;
+    return false;
+  }
+
+  /// Fetch `owner`'s checkpoint at `step`: the primary if the owner's
+  /// memory is intact, else the buddy replica, else nullopt (both copies
+  /// lost — a correlated owner+buddy failure).
+  std::optional<CheckpointBlob> load(rank_t owner, u64 step) const {
+    std::lock_guard lock(mu_);
+    for (const auto& e : entries_.at(static_cast<usize>(owner))) {
+      if (e.step != step) continue;
+      if (!e.primary && !e.replica) return std::nullopt;
+      CheckpointBlob out;
+      out.step = step;
+      out.bytes = e.bytes;
+      out.holder = e.primary ? owner : e.buddy;
+      out.from_replica = !e.primary;
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  /// A rank died: its memory is gone. Drops every primary it owned and
+  /// every replica it was holding for others; checkpoints with no surviving
+  /// copy release their bytes.
+  void mark_lost(rank_t dead) {
+    std::lock_guard lock(mu_);
+    for (auto& slots : entries_)
+      for (auto& e : slots) {
+        if (e.buddy == dead) e.replica = false;
+        if (!e.primary && !e.replica) e.bytes.clear();
+      }
+    for (auto& e : entries_.at(static_cast<usize>(dead))) {
+      e.primary = false;
+      if (!e.replica) e.bytes.clear();
+    }
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    for (auto& slots : entries_) slots.clear();
+  }
+
+ private:
+  struct Entry {
+    u64 step = 0;
+    rank_t buddy = -1;
+    bool primary = false;  ///< owner's copy intact
+    bool replica = false;  ///< buddy's copy intact
+    std::vector<std::byte> bytes;
+  };
+
+  mutable std::mutex mu_;
+  /// entries_[owner]: one Entry per checkpointed superstep boundary.
+  std::vector<std::vector<Entry>> entries_;
+};
+
+}  // namespace hds::runtime

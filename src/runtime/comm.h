@@ -31,6 +31,7 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "runtime/checkpoint.h"
 #include "runtime/fault.h"
 #include "runtime/team.h"
 
@@ -611,6 +612,75 @@ class Comm {
     return nbytes / sizeof(T);
   }
 
+  // --- failure recovery ------------------------------------------------------
+
+  /// Survivor-side recovery entry point (requires TeamConfig::recoverable).
+  /// Call after catching team_aborted: blocks in the agreement rendezvous
+  /// until every surviving rank arrives and every failed rank's thread has
+  /// exited, then returns a fresh communicator over the survivor set (this
+  /// communicator — and every other pre-failure Comm — must not be used
+  /// again). The SimClock is fast-forwarded to the common recovery time:
+  /// max survivor clock + the modelled detection/agreement cost. Throws
+  /// team_aborted if the run is beyond recovery (a non-failure error was
+  /// recorded, or a rank returned without joining the rendezvous).
+  Comm recover_survivors() {
+    note_op(detail::OpId::Agree);
+    const double t0 = clock().now();
+    Team::RecoveryOutcome out;
+    {
+      detail::SiteScope site(progress(), detail::WaitSite::Recovery);
+      out = team_->recover(world_rank());
+    }
+    clock().sync_to(std::max(clock().now(), out.sync_time));
+    metrics().add(obs::Counter::RecoveryCount, 1);
+    // Time-to-recover, per survivor: from this rank noticing the failure
+    // (unwinding into the rendezvous) to agreement completion.
+    metrics().append(obs::Series::RecoverySeconds, clock().now() - t0);
+    tracer().op_end(clock().now());
+    int idx = 0;
+    for (usize i = 0; i < out.state->members.size(); ++i)
+      if (out.state->members[i] == world_rank()) idx = static_cast<int>(i);
+    return Comm(team_, out.state, idx);
+  }
+
+  /// Superstep-boundary checkpoint: replicate this rank's serialized sort
+  /// state to its buddy (the next member, cyclically). The transfer is
+  /// charged at the machine's checkpoint_overlap_residue of the raw p2p
+  /// cost — checkpointing overlaps the next superstep's compute except for
+  /// that residue — and the bytes are surfaced in obs::Metrics.
+  void checkpoint_to_buddy(CheckpointStore& store, u64 superstep,
+                           std::vector<std::byte> bytes) {
+    const rank_t bw = world_rank_of((idx_ + 1) % size());
+    const u64 n = bytes.size();
+    note_op(detail::OpId::Checkpoint, n, bw, /*tag=*/superstep,
+            net::Traffic::Data);
+    clock().advance(
+        cost().checkpoint(world_rank(), bw, n, net::Traffic::Data));
+    metrics().add(obs::Counter::CheckpointBytes, n);
+    metrics().add(obs::Counter::CheckpointCount, 1);
+    store.save(world_rank(), bw, superstep, std::move(bytes));
+    tracer().op_end(clock().now());
+  }
+
+  /// Fetch a checkpoint during recovery. Charges the full p2p transfer when
+  /// the surviving copy lives on another rank (restores sit on the critical
+  /// path — no overlap discount); a locally-served primary is free. Returns
+  /// nullopt if no copy survived (owner and buddy both failed).
+  std::optional<CheckpointBlob> fetch_checkpoint(CheckpointStore& store,
+                                                 rank_t owner_world,
+                                                 u64 step) {
+    auto blob = store.load(owner_world, step);
+    if (!blob) return blob;
+    const u64 n = blob->bytes.size();
+    note_op(detail::OpId::Checkpoint, n, blob->holder, /*tag=*/step,
+            net::Traffic::Data);
+    if (blob->holder != world_rank())
+      clock().advance(
+          cost().p2p(blob->holder, world_rank(), n, net::Traffic::Data));
+    tracer().op_end(clock().now());
+    return blob;
+  }
+
  private:
   template <class T>
   static void check_trivial() {
@@ -734,8 +804,18 @@ class Comm {
     ps.ops.fetch_add(1, std::memory_order_relaxed);
     tracer().op_begin(op, clock().phase(), clock().now(), bytes, peer, tag,
                       traffic);
-    if (FaultPlan* fp = team_->fault_plan())
-      fp->on_op(world_rank(), static_cast<u32>(op), clock());
+    if (FaultPlan* fp = team_->fault_plan()) {
+      try {
+        fp->on_op(world_rank(), static_cast<u32>(op), clock());
+      } catch (const rank_failed&) {
+        // Poison the team before the victim unwinds: any BorrowToken the
+        // victim still holds drains instantly in its destructor (the abort
+        // flag is already set) instead of spinning until the watchdog, and
+        // peers see the failure at their next blocking op.
+        team_->note_rank_failure(world_rank());
+        throw;
+      }
+    }
   }
 
   /// Release-mode guard, run by the root executor between the barriers:

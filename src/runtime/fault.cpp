@@ -20,6 +20,38 @@ FaultPlan& FaultPlan::delay_rank_at_op(rank_t rank, u64 k,
   return *this;
 }
 
+FaultPlan& FaultPlan::crash_rank_at_phase_op(rank_t rank, net::Phase phase,
+                                             u64 k) {
+  std::lock_guard lock(mu_);
+  op_actions_.push_back(OpAction{rank, k, /*crash=*/true, 0.0,
+                                 static_cast<i32>(phase)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_rank_at_phase_op(rank_t rank, net::Phase phase,
+                                             u64 k, double sim_seconds) {
+  HDS_CHECK(sim_seconds >= 0.0);
+  std::lock_guard lock(mu_);
+  op_actions_.push_back(OpAction{rank, k, /*crash=*/false, sim_seconds,
+                                 static_cast<i32>(phase)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_ranks_at_op(std::span<const rank_t> ranks,
+                                        u64 k) {
+  std::lock_guard lock(mu_);
+  for (rank_t r : ranks)
+    op_actions_.push_back(OpAction{r, k, /*crash=*/true, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_rank_at_ops(rank_t rank, std::span<const u64> ks) {
+  std::lock_guard lock(mu_);
+  for (u64 k : ks)
+    op_actions_.push_back(OpAction{rank, k, /*crash=*/true, 0.0});
+  return *this;
+}
+
 FaultPlan& FaultPlan::drop_message(rank_t src, rank_t dst, u64 tag) {
   std::lock_guard lock(mu_);
   msg_actions_.push_back(MsgAction{src, dst, tag, /*drop=*/true, 0.0});
@@ -50,9 +82,10 @@ void FaultPlan::rearm() {
 
 void FaultPlan::begin_run(int nranks) {
   std::lock_guard lock(mu_);
-  op_count_.assign(static_cast<usize>(std::max(
-                       nranks, static_cast<int>(op_count_.size()))),
-                   0);
+  const usize n = static_cast<usize>(
+      std::max(nranks, static_cast<int>(op_count_.size())));
+  op_count_.assign(n, 0);
+  op_phase_count_.assign(n * net::kPhaseCount, 0);
 }
 
 u64 FaultPlan::on_op(rank_t rank, u32 /*op_id*/, net::SimClock& clock) {
@@ -62,13 +95,24 @@ u64 FaultPlan::on_op(rank_t rank, u32 /*op_id*/, net::SimClock& clock) {
   OpAction hit{};
   bool triggered = false;
   u64 k = 0;
+  const i32 phase = static_cast<i32>(clock.phase());
   {
     std::lock_guard lock(mu_);
-    if (static_cast<usize>(rank) >= op_count_.size())
+    if (static_cast<usize>(rank) >= op_count_.size()) {
       op_count_.resize(static_cast<usize>(rank) + 1, 0);
+      op_phase_count_.resize((static_cast<usize>(rank) + 1) *
+                                 net::kPhaseCount,
+                             0);
+    }
     k = op_count_[rank]++;
+    const u64 pk = op_phase_count_[static_cast<usize>(rank) *
+                                       net::kPhaseCount +
+                                   static_cast<usize>(phase)]++;
     for (auto& a : op_actions_) {
-      if (a.armed && a.rank == rank && a.k == k) {
+      if (!a.armed || a.rank != rank) continue;
+      const bool match = a.phase < 0 ? a.k == k
+                                     : (a.phase == phase && a.k == pk);
+      if (match) {
         a.armed = false;
         hit = a;
         triggered = true;
@@ -102,6 +146,13 @@ bool FaultPlan::on_send(rank_t src, rank_t dst, u64 tag,
 u64 FaultPlan::ops_observed(rank_t rank) const {
   std::lock_guard lock(mu_);
   return static_cast<usize>(rank) < op_count_.size() ? op_count_[rank] : 0;
+}
+
+u64 FaultPlan::ops_observed_in_phase(rank_t rank, net::Phase phase) const {
+  std::lock_guard lock(mu_);
+  const usize i = static_cast<usize>(rank) * net::kPhaseCount +
+                  static_cast<usize>(phase);
+  return i < op_phase_count_.size() ? op_phase_count_[i] : 0;
 }
 
 }  // namespace hds::runtime

@@ -6,9 +6,14 @@
 // keyed on (rank, k-th op on that rank) or on (src, dst, tag) message
 // coordinates, so a test can crash an exact superstep of a distributed
 // algorithm, straggle one rank's SimClock, or drop/delay a specific
-// message — and observe precisely which abort path fires. All actions are
-// one-shot: once triggered they are consumed, which is what makes
-// Team::run_with_retry converge after an injected failure.
+// message — and observe precisely which abort path fires. Actions may also
+// be keyed on the k-th op *within a phase* (crash the 2nd op of the
+// Exchange superstep, regardless of how many histogram rounds ran first).
+// Each action is one-shot — once triggered it is consumed, which is what
+// makes Team::run_with_retry converge after an injected failure — but a
+// plan may hold many actions, so multi-fault schedules (back-to-back
+// crashes during a recovery, or correlated same-op crashes of several
+// ranks) are expressed by arming several actions at once.
 //
 // The failure types (rank_failed, collective_mismatch, watchdog_timeout)
 // live here rather than in common/error.h because they are runtime-layer
@@ -17,6 +22,7 @@
 #pragma once
 
 #include <mutex>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -91,6 +97,19 @@ class FaultPlan {
   /// Rank `rank` becomes a straggler: its SimClock is advanced by
   /// `sim_seconds` when it reaches its k-th op.
   FaultPlan& delay_rank_at_op(rank_t rank, u64 k, double sim_seconds);
+  /// Phase-targeted crash: rank `rank` throws rank_failed when it reaches
+  /// its k-th op whose SimClock phase is `phase` (k counts per phase, so
+  /// "2nd op of Exchange" is stable even when histogram round counts vary).
+  FaultPlan& crash_rank_at_phase_op(rank_t rank, net::Phase phase, u64 k);
+  /// Phase-targeted straggler, same keying as crash_rank_at_phase_op.
+  FaultPlan& delay_rank_at_phase_op(rank_t rank, net::Phase phase, u64 k,
+                                    double sim_seconds);
+  /// Correlated multi-rank crash: every listed rank fails at its own k-th
+  /// op (the simulated analogue of losing a whole node).
+  FaultPlan& crash_ranks_at_op(std::span<const rank_t> ranks, u64 k);
+  /// Back-to-back schedule: rank `rank` crashes at each op index in `ks`
+  /// (useful when recovery keeps the run alive past the first failure).
+  FaultPlan& crash_rank_at_ops(rank_t rank, std::span<const u64> ks);
   /// The first message src->dst with `tag` is silently lost (the sender is
   /// still charged for the transfer; the receiver blocks until the
   /// watchdog converts the hang into an abort).
@@ -123,6 +142,9 @@ class FaultPlan {
   /// Ops issued by `rank` during the most recent (or current) run. Useful
   /// for sweeping an injected crash across every op of an algorithm.
   u64 ops_observed(rank_t rank) const;
+  /// Ops issued by `rank` while its SimClock was in `phase` (same keying
+  /// as crash_rank_at_phase_op, for sweeping crashes within a superstep).
+  u64 ops_observed_in_phase(rank_t rank, net::Phase phase) const;
   u64 seed() const { return seed_; }
 
  private:
@@ -131,6 +153,7 @@ class FaultPlan {
     u64 k;
     bool crash;       ///< crash vs. straggler delay
     double delay_s;   ///< straggler SimClock advance
+    i32 phase = -1;   ///< net::Phase filter; -1 keys k on the global counter
     bool armed = true;
   };
   struct MsgAction {
@@ -149,6 +172,9 @@ class FaultPlan {
   std::vector<OpAction> op_actions_;
   std::vector<MsgAction> msg_actions_;
   std::vector<u64> op_count_;
+  /// Per-rank, per-phase op counters (op_phase_count_[rank * kPhaseCount +
+  /// phase]), driving the phase-targeted actions.
+  std::vector<u64> op_phase_count_;
 };
 
 }  // namespace hds::runtime

@@ -131,6 +131,19 @@ class Mailbox {
     cv_.notify_all();
   }
 
+  /// Drop every undelivered message (failure recovery: stale messages from
+  /// the aborted epoch must not be matched by post-recovery receives).
+  /// Pending borrowed payloads are signalled — their senders have unwound
+  /// past the abort and nobody will read the buffers again.
+  void reset() {
+    std::lock_guard lock(mu_);
+    for (auto& [key, q] : channels_)
+      for (auto& m : q)
+        if (m.borrow) m.borrow->signal();
+    channels_.clear();
+    pending_ = 0;
+  }
+
   /// Undelivered messages sitting in this mailbox (watchdog diagnostic).
   usize pending() const {
     std::lock_guard lock(mu_);

@@ -72,6 +72,15 @@ void Team::run(const std::function<void(Comm&)>& fn) {
   abort_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
   first_error_is_abort_ = false;
+  {
+    std::lock_guard lock(rec_mu_);
+    failed_.clear();
+    rec_waiting_.clear();
+    rec_pending_ = false;
+    rec_fatal_ = false;
+    rec_rounds_ = 0;
+    rec_last_ = RecoveryOutcome{};
+  }
   for (auto& c : clocks_) c.reset();
   {
     std::lock_guard lock(subteam_mu_);
@@ -114,6 +123,11 @@ void Team::run(const std::function<void(Comm&)>& fn) {
       }
       progress_[r].done.store(1, std::memory_order_relaxed);
       done.fetch_add(1, std::memory_order_relaxed);
+      // The agreement rendezvous waits on thread exits (failed ranks must
+      // be gone, live ranks must not be silently abandoned); the empty
+      // critical section orders the done-store before the wakeup.
+      { std::lock_guard lock(rec_mu_); }
+      rec_cv_.notify_all();
     });
   }
   for (auto& t : threads) t.join();
@@ -131,8 +145,9 @@ void Team::run(const std::function<void(Comm&)>& fn) {
     tracers_[r]->finalize();
   }
 
-  if (first_error_) std::rethrow_exception(first_error_);
-
+  // Stats are published before the error check so a failed run still
+  // reports how far the simulated clocks got (recovery studies charge the
+  // aborted attempt's time against the recovery strategy).
   stats_ = net::TeamStats{};
   for (int r = 0; r < cfg_.nranks; ++r) {
     final_times_[r] = clocks_[r].now();
@@ -142,6 +157,22 @@ void Team::run(const std::function<void(Comm&)>& fn) {
           clocks_[r].phase_seconds(static_cast<net::Phase>(p));
   }
   for (auto& v : stats_.phase_s) v /= cfg_.nranks;
+
+  if (first_error_) {
+    bool swallow = false;
+    if (cfg_.recoverable) {
+      // A recovered run ends with the victims' rank_failed (abort-class in
+      // recoverable mode) still recorded. If agreement completed, nothing
+      // worse was recorded, and every survivor returned normally, the run
+      // succeeded on the shrunken team — swallow the failure record.
+      std::lock_guard lock(rec_mu_);
+      swallow = first_error_is_abort_ && !failed_.empty() &&
+                rec_rounds_ > 0 && !rec_pending_ && !rec_fatal_;
+    }
+    if (!swallow) std::rethrow_exception(first_error_);
+    first_error_ = nullptr;
+    first_error_is_abort_ = false;
+  }
 
   if (cfg_.trace) {
     auto rep = std::make_unique<obs::TraceReport>();
@@ -255,6 +286,9 @@ std::string Team::progress_dump(double stalled_s) const {
            << ps.wait_src.load(std::memory_order_relaxed)
            << ", tag=" << ps.wait_tag.load(std::memory_order_relaxed) << ")";
         break;
+      case detail::WaitSite::Recovery:
+        os << ", site=recovery-rendezvous";
+        break;
     }
     os << ", sim_clock=" << ps.sim_clock.load(std::memory_order_relaxed)
        << "s";
@@ -304,6 +338,10 @@ void Team::record_error(std::exception_ptr ep) {
   bool is_abort = false;
   try {
     std::rethrow_exception(ep);
+  } catch (const rank_failed&) {
+    // In recoverable mode a rank failure is abort-class: survivors may
+    // complete the run without it, and Team::run swallows it afterwards.
+    is_abort = cfg_.recoverable;
   } catch (const team_aborted&) {
     is_abort = true;
   } catch (...) {
@@ -317,6 +355,16 @@ void Team::record_error(std::exception_ptr ep) {
   }
   abort_.store(true, std::memory_order_relaxed);
   poison_all();
+  if (cfg_.recoverable && !is_abort) {
+    // A non-failure error (check failure, watchdog, user exception) makes
+    // the run unrecoverable: wake any parked survivors so they abort
+    // instead of waiting for an agreement that can never complete.
+    {
+      std::lock_guard lock(rec_mu_);
+      rec_fatal_ = true;
+    }
+    rec_cv_.notify_all();
+  }
 }
 
 void Team::poison_all() {
@@ -326,6 +374,104 @@ void Team::poison_all() {
     for (auto& st : subteams_) st->barrier.poison();
   }
   for (auto& mb : mailboxes_) mb->poison();
+}
+
+void Team::note_rank_failure(rank_t world) {
+  {
+    std::lock_guard lock(rec_mu_);
+    if (std::find(failed_.begin(), failed_.end(), world) == failed_.end())
+      failed_.push_back(world);
+    rec_pending_ = true;
+  }
+  abort_.store(true, std::memory_order_relaxed);
+  poison_all();
+  rec_cv_.notify_all();
+}
+
+std::vector<rank_t> Team::failures() const {
+  std::lock_guard lock(rec_mu_);
+  return failed_;
+}
+
+u64 Team::recovery_rounds() const {
+  std::lock_guard lock(rec_mu_);
+  return rec_rounds_;
+}
+
+Team::RecoveryOutcome Team::recover(rank_t world) {
+  std::unique_lock lock(rec_mu_);
+  const u64 round = rec_rounds_;
+  rec_waiting_.push_back(world);
+  rec_cv_.notify_all();
+  auto unpark = [&] {
+    auto it = std::find(rec_waiting_.begin(), rec_waiting_.end(), world);
+    if (it != rec_waiting_.end()) rec_waiting_.erase(it);
+  };
+  auto is_failed = [&](rank_t r) {
+    return std::find(failed_.begin(), failed_.end(), r) != failed_.end();
+  };
+  for (;;) {
+    if (rec_fatal_) {
+      unpark();
+      throw team_aborted();
+    }
+    if (rec_rounds_ > round) return rec_last_;  // another survivor rebuilt
+
+    bool all_failed_done = true;
+    for (rank_t f : failed_)
+      if (!progress_[f].done.load(std::memory_order_relaxed))
+        all_failed_done = false;
+    bool all_live_parked = true;
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      if (is_failed(r)) continue;
+      if (std::find(rec_waiting_.begin(), rec_waiting_.end(), r) !=
+          rec_waiting_.end())
+        continue;
+      all_live_parked = false;
+      if (progress_[r].done.load(std::memory_order_relaxed)) {
+        // A live rank already returned from fn: it can never join this
+        // rendezvous, so the survivor set cannot reach agreement.
+        rec_fatal_ = true;
+        rec_cv_.notify_all();
+        unpark();
+        throw team_aborted();
+      }
+    }
+
+    if (all_live_parked && all_failed_done && rec_pending_) {
+      // This thread performs the round's rebuild: every survivor is parked
+      // right here and every failed thread has exited, so nobody else can
+      // touch clocks, tracers, or mailboxes concurrently — and no stale
+      // BorrowToken can still be draining once the abort flag is lifted.
+      std::vector<rank_t> survivors;
+      for (int r = 0; r < cfg_.nranks; ++r)
+        if (!is_failed(r)) survivors.push_back(r);
+      HDS_CHECK(!survivors.empty());
+      for (rank_t s : survivors) mailboxes_[s]->reset();
+      auto st = std::make_unique<detail::CommState>(survivors, cfg_.machine,
+                                                    &abort_);
+      detail::CommState* ptr = register_subteam(std::move(st));
+      if (auto* rd = race_detector())
+        // The agreement is a full join over the survivors: everything any
+        // survivor did before the failure happens-before everything any
+        // survivor does after recovery.
+        rd->on_collective(ptr, obs::OpKind::Agree, ptr->members,
+                          /*root_member=*/-1);
+      double latest = 0.0;
+      for (rank_t s : survivors)
+        latest = std::max(latest, clocks_[s].now());
+      rec_last_ = RecoveryOutcome{
+          ptr, latest + cost_.detect_and_agree(
+                            static_cast<int>(survivors.size()))};
+      abort_.store(false, std::memory_order_relaxed);
+      rec_pending_ = false;
+      ++rec_rounds_;
+      rec_waiting_.clear();
+      rec_cv_.notify_all();
+      return rec_last_;
+    }
+    rec_cv_.wait(lock);
+  }
 }
 
 Comm Comm::split(int color, int key) {

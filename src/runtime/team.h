@@ -71,6 +71,14 @@ struct TeamConfig {
   /// simulated times are bit-identical with the checker on or off, and
   /// with it off no checker state is ever allocated.
   check::CheckConfig check{};
+  /// Recoverable failure semantics (ULFM-style shrink-to-survivors): an
+  /// injected rank_failed no longer dooms the run. Survivors that catch
+  /// team_aborted may call Comm::recover_survivors() to rendezvous, agree
+  /// on the survivor set, and continue on a fresh sub-communicator; if
+  /// every survivor then returns normally, Team::run succeeds. Off by
+  /// default — the default abort semantics (and simulated times) are
+  /// unchanged.
+  bool recoverable = false;
 };
 
 /// Bounded-retry policy for Team::run_with_retry. Backoff is wall-clock:
@@ -145,7 +153,12 @@ struct EpochArena {
 };
 
 /// Where a rank is blocked, for the watchdog's diagnostic dump.
-enum class WaitSite : u32 { None = 0, Barrier = 1, MailboxRecv = 2 };
+enum class WaitSite : u32 {
+  None = 0,
+  Barrier = 1,
+  MailboxRecv = 2,
+  Recovery = 3,  ///< parked in the survivor-agreement rendezvous
+};
 
 /// Per-rank progress ledger, written only by the owning rank's thread and
 /// read by the watchdog. `ops` increases monotonically within a run, so the
@@ -249,8 +262,36 @@ class Team {
   /// TeamConfig::check.enabled was set.
   const check::CheckReport* check_report() const;
 
+  /// World ranks that failed during the most recent (or current) run, in
+  /// failure order. Populated in both recoverable and default modes.
+  std::vector<rank_t> failures() const;
+  /// Survivor-agreement rounds completed during the most recent run.
+  u64 recovery_rounds() const;
+  /// Toggle recoverable failure semantics between runs (drivers flip this
+  /// for a recovery-mode attempt and restore it afterwards).
+  void set_recoverable(bool v) { cfg_.recoverable = v; }
+
  private:
   friend class Comm;
+
+  /// What a survivor gets back from the agreement rendezvous: the rebuilt
+  /// survivor communicator and the simulated time every survivor resumes
+  /// at (max survivor clock + detection/agreement charge).
+  struct RecoveryOutcome {
+    detail::CommState* state = nullptr;
+    double sync_time = 0.0;
+  };
+
+  /// Called by the victim's Comm::note_op before rank_failed propagates:
+  /// records the failure and poisons the team so peers unwind promptly.
+  void note_rank_failure(rank_t world);
+  /// Survivor-side rendezvous (Comm::recover_survivors). Blocks until every
+  /// live rank has parked here and every failed rank's thread has exited,
+  /// then one survivor rebuilds the survivor communicator, resets the
+  /// survivors' mailboxes, and lifts the abort flag. Throws team_aborted if
+  /// recovery is impossible (non-failure error recorded, or a live rank
+  /// already returned and can never join the rendezvous).
+  RecoveryOutcome recover(rank_t world);
 
   detail::CommState* register_subteam(
       std::unique_ptr<detail::CommState> state);
@@ -283,6 +324,18 @@ class Team {
   std::mutex err_mu_;
   std::exception_ptr first_error_;
   bool first_error_is_abort_ = false;
+
+  /// Survivor-agreement state (all guarded by rec_mu_). rec_cv_ is
+  /// notified on every event the rendezvous waits for: a new failure, a
+  /// survivor parking, a thread exiting, a fatal error, and the rebuild.
+  mutable std::mutex rec_mu_;
+  std::condition_variable rec_cv_;
+  std::vector<rank_t> failed_;       ///< world ranks failed this run
+  std::vector<rank_t> rec_waiting_;  ///< survivors parked in recover()
+  bool rec_pending_ = false;  ///< failure seen, agreement not yet complete
+  bool rec_fatal_ = false;    ///< recovery impossible; waiters must abort
+  u64 rec_rounds_ = 0;        ///< completed agreement rounds this run
+  RecoveryOutcome rec_last_{};  ///< outcome of the most recent round
 
   net::TeamStats stats_{};
   std::vector<double> final_times_;

@@ -65,6 +65,11 @@ COMM_OP_METHODS = [
     "recv",
     "recv_into",
     "recv_append",
+    # Failure-recovery entry points (PR 6): the agreement rendezvous and
+    # both checkpoint transfers are simulated operations too.
+    "recover_survivors",
+    "checkpoint_to_buddy",
+    "fetch_checkpoint",
 ]
 
 # A method body satisfies comm-note-op if it hits the hook directly or
@@ -148,7 +153,8 @@ def check_comm_note_op(findings: list[str]) -> None:
     text = strip_comments_and_strings(raw)
     for method in COMM_OP_METHODS:
         pattern = re.compile(
-            r"(?:^|[ \t])(?:void|T|usize|std::vector<T>|Comm|BorrowToken)"
+            r"(?:^|[ \t])(?:void|T|usize|std::vector<T>|Comm|BorrowToken"
+            r"|std::optional<CheckpointBlob>)"
             r"\s+(%s)\s*\(" % re.escape(method),
             re.M,
         )
