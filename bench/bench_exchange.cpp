@@ -57,6 +57,11 @@ struct Cell {
   usize n_per_rank = 0;
   double seconds_median = 0.0;
   double speedup_vs_packed = 1.0;
+  std::string algo = "alltoallv";  // "alltoallv" | "kary"
+  int k = 0;                       // k-ary radix; 0 for alltoallv
+  /// Per-round simulated-time attribution (k-ary cells only): how much of
+  /// each round is communication vs overlapped tail merge on rank 0.
+  std::vector<core::KAryRoundTrace> rounds;
 };
 
 struct Timing {
@@ -128,6 +133,50 @@ Timing time_exchange(int P, usize n, int reps, u64 seed, core::DataPath path,
   return {median(std::move(t_exchange)), median(std::move(t_total))};
 }
 
+/// The k-ary exchange with overlap returns one already-merged run; timing
+/// it barrier-to-barrier therefore covers the "exchange+merge" phase. The
+/// per-round simulated breakdown (communication vs overlapped merge) is
+/// captured from rank 0 during the warmup rep — it is deterministic.
+template <class T, class KeyFn, class MakeFn>
+double time_kary(int P, usize n, int reps, u64 seed, core::DataPath path,
+                 int k, KeyFn key, MakeFn make,
+                 std::vector<core::KAryRoundTrace>& trace_out) {
+  runtime::Team team({.nranks = P});
+  std::vector<double> t_total;
+  team.run([&](runtime::Comm& c) {
+    Xoshiro256 rng(hash_mix(seed, static_cast<u64>(c.rank())));
+    std::vector<T> local(n);
+    for (auto& v : local) v = make(rng);
+    std::sort(local.begin(), local.end(),
+              [&](const T& a, const T& b) { return key(a) < key(b); });
+    const std::span<const T> sorted_view(local.data(), local.size());
+
+    std::vector<usize> targets(static_cast<usize>(P) - 1);
+    for (usize b = 0; b < targets.size(); ++b) targets[b] = (b + 1) * n;
+    const auto sp = core::find_splitters(c, sorted_view, key,
+                                         std::span<const usize>(targets));
+
+    for (int r = 0; r <= reps; ++r) {  // rep 0 is a warmup
+      c.barrier();
+      const double t0 = now_s();
+      auto ex = core::exchange_kary(
+          c, sorted_view, sp, key, k, /*overlap_merge=*/true, path,
+          (r == 0 && c.rank() == 0) ? &trace_out : nullptr);
+      c.barrier();
+      const double t1 = now_s();
+      if (!std::is_sorted(ex.data.begin(), ex.data.end(),
+                          [&](const T& a, const T& b) {
+                            return key(a) < key(b);
+                          })) {
+        std::cerr << "FATAL: k-ary exchange produced unsorted output\n";
+        std::exit(1);
+      }
+      if (c.rank() == 0 && r > 0) t_total.push_back(t1 - t0);
+    }
+  });
+  return median(std::move(t_total));
+}
+
 void write_json(const std::string& path, const std::vector<Cell>& cells) {
   std::ofstream out(path);
   out << "[\n";
@@ -137,8 +186,17 @@ void write_json(const std::string& path, const std::vector<Cell>& cells) {
         << ", \"path\": \"" << c.path << "\", \"phase\": \"" << c.phase
         << "\", \"n_per_rank\": " << c.n_per_rank
         << ", \"seconds_median\": " << c.seconds_median
-        << ", \"speedup_vs_packed\": " << c.speedup_vs_packed << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+        << ", \"speedup_vs_packed\": " << c.speedup_vs_packed
+        << ", \"algo\": \"" << c.algo << "\", \"k\": " << c.k;
+    if (!c.rounds.empty()) {
+      out << ", \"rounds\": [";
+      for (usize r = 0; r < c.rounds.size(); ++r)
+        out << (r ? ", " : "") << "{\"round\": " << r
+            << ", \"exchange_s\": " << c.rounds[r].comm_s
+            << ", \"merge_s\": " << c.rounds[r].merge_s << "}";
+      out << "]";
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "]\n";
 }
@@ -172,6 +230,11 @@ int main(int argc, char** argv) {
                "speedup"});
   std::vector<Cell> cells;
 
+  Table kary_table({"type", "P", "n/rank", "k", "rounds", "packed t[s]",
+                    "kary t[s]", "speedup"});
+
+  // Returns the packed exchange+merge median — the baseline the k-ary
+  // cells of the same (type, P, n) are gated against.
   auto run_cell = [&](const std::string& type, int P, usize n, auto key,
                       auto make) {
     using T = std::decay_t<decltype(make(std::declval<Xoshiro256&>()))>;
@@ -183,13 +246,50 @@ int main(int argc, char** argv) {
     const auto emit = [&](const std::string& phase, double t_packed,
                           double t_pull) {
       const double speedup = t_pull > 0.0 ? t_packed / t_pull : 0.0;
-      cells.push_back({type, P, "packed", phase, n, t_packed, 1.0});
-      cells.push_back({type, P, "pull", phase, n, t_pull, speedup});
+      Cell packed_cell;
+      packed_cell.type = type;
+      packed_cell.nranks = P;
+      packed_cell.path = "packed";
+      packed_cell.phase = phase;
+      packed_cell.n_per_rank = n;
+      packed_cell.seconds_median = t_packed;
+      Cell pull_cell = packed_cell;
+      pull_cell.path = "pull";
+      pull_cell.seconds_median = t_pull;
+      pull_cell.speedup_vs_packed = speedup;
+      cells.push_back(std::move(packed_cell));
+      cells.push_back(std::move(pull_cell));
       table.add_row({type, std::to_string(P), std::to_string(n), phase,
                      fmt(t_packed), fmt(t_pull), fmt(speedup) + "x"});
     };
     emit("exchange", packed.exchange, pull.exchange);
     emit("exchange+merge", packed.total, pull.total);
+    return packed.total;
+  };
+
+  auto run_kary_cell = [&](const std::string& type, int P, usize n, int k,
+                           double packed_total, auto key, auto make) {
+    using T = std::decay_t<decltype(make(std::declval<Xoshiro256&>()))>;
+    Cell cell;
+    cell.type = type;
+    cell.nranks = P;
+    cell.path = "pull";
+    cell.phase = "exchange+merge";
+    cell.n_per_rank = n;
+    cell.algo = "kary";
+    cell.k = k;
+    cell.seconds_median = time_kary<T>(P, n, reps, seed,
+                                       core::DataPath::Pull, k, key, make,
+                                       cell.rounds);
+    cell.speedup_vs_packed = cell.seconds_median > 0.0
+                                 ? packed_total / cell.seconds_median
+                                 : 0.0;
+    kary_table.add_row({type, std::to_string(P), std::to_string(n),
+                        std::to_string(k),
+                        std::to_string(cell.rounds.size()),
+                        fmt(packed_total), fmt(cell.seconds_median),
+                        fmt(cell.speedup_vs_packed) + "x"});
+    cells.push_back(std::move(cell));
   };
 
   const auto u64_key = [](u64 v) { return v; };
@@ -202,11 +302,19 @@ int main(int argc, char** argv) {
   };
 
   for (int P : {8, 16}) {
-    run_cell("u64", P, n_u64, u64_key, u64_make);
-    run_cell("rec64", P, n_rec, rec_key, rec_make);
+    const double u64_packed = run_cell("u64", P, n_u64, u64_key, u64_make);
+    const double rec_packed = run_cell("rec64", P, n_rec, rec_key, rec_make);
+    for (int k : {2, 4, 8, P}) {
+      if (k == P && P == 8) continue;  // k=8 already covers it
+      run_kary_cell("u64", P, n_u64, k, u64_packed, u64_key, u64_make);
+      run_kary_cell("rec64", P, n_rec, k, rec_packed, rec_key, rec_make);
+    }
   }
 
   std::cout << table.to_string();
+  std::cout << "\nk-ary interleaved exchange (overlap_merge, pull path) vs "
+               "packed alltoallv exchange+merge:\n"
+            << kary_table.to_string();
   write_json(out_path, cells);
   std::cout << "wrote " << out_path << " (" << cells.size() << " cells)\n";
   return 0;

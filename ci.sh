@@ -76,9 +76,12 @@ PYEOF
 
 # Perf gate: the single-copy pull path must beat the packed path by >= 1.3x
 # on the u64 P=16 exchange superstep (DESIGN.md sec. 11 — the copy-count
-# argument this PR's data path is built on). The exchange+merge cells are
-# validated for shape but not gated: the merge does identical work on both
-# paths, so its wall-clock only dilutes the copy delta.
+# argument this PR's data path is built on), and the best k-ary interleaved
+# exchange must beat packed-alltoallv-plus-merge by >= 1.3x on the combined
+# u64 P=16 exchange+merge supersteps (DESIGN.md sec. 13 — fewer copies and
+# a single merge pass). The plain exchange+merge path cells are validated
+# for shape but not gated: the merge does identical work on both paths, so
+# its wall-clock only dilutes the copy delta.
 echo "=== perf gate: bench_exchange ==="
 (cd build-ci-relwithdebinfo &&
   ./bench/bench_exchange --reps=7 --out=BENCH_exchange.json)
@@ -88,20 +91,39 @@ cells = json.load(open(sys.argv[1]))
 assert isinstance(cells, list) and cells, "empty or malformed JSON"
 for c in cells:
     for k in ("type", "nranks", "path", "phase", "n_per_rank",
-              "seconds_median", "speedup_vs_packed"):
+              "seconds_median", "speedup_vs_packed", "algo", "k"):
         assert k in c, f"missing field {k}: {c}"
     assert c["path"] in ("packed", "pull"), c
     assert c["phase"] in ("exchange", "exchange+merge"), c
+    assert c["algo"] in ("alltoallv", "kary"), c
     assert c["seconds_median"] > 0.0, c
+    if c["algo"] == "kary":
+        assert c["k"] >= 2 and c["phase"] == "exchange+merge", c
+        assert c["rounds"], f"kary cell missing per-round breakdown: {c}"
+        for r in c["rounds"]:
+            assert r["exchange_s"] >= 0.0 and r["merge_s"] >= 0.0, c
+    else:
+        assert c["k"] == 0 and "rounds" not in c, c
 target = [c for c in cells
           if c["type"] == "u64" and c["nranks"] == 16 and
-             c["path"] == "pull" and c["phase"] == "exchange"]
+             c["path"] == "pull" and c["phase"] == "exchange" and
+             c["algo"] == "alltoallv"]
 assert target, "no u64 P=16 pull exchange cell"
 speedup = target[0]["speedup_vs_packed"]
 assert speedup >= 1.3, \
     f"pull path only {speedup:.2f}x vs packed on u64 P=16 exchange (< 1.3x)"
 print(f"perf gate OK: pull {speedup:.2f}x faster than packed "
       "(u64, P=16, exchange superstep)")
+kary = [c for c in cells
+        if c["algo"] == "kary" and c["type"] == "u64" and c["nranks"] == 16]
+assert kary, "no u64 P=16 kary cells"
+best = max(kary, key=lambda c: c["speedup_vs_packed"])
+assert best["speedup_vs_packed"] >= 1.3, \
+    (f"best k-ary (k={best['k']}) only {best['speedup_vs_packed']:.2f}x vs "
+     "packed alltoallv on u64 P=16 exchange+merge (< 1.3x)")
+print(f"perf gate OK: k-ary k={best['k']} "
+      f"{best['speedup_vs_packed']:.2f}x faster than packed alltoallv "
+      "(u64, P=16, exchange+merge supersteps)")
 PYEOF
 
 # Trace smoke: a traced quickstart run must produce Chrome trace JSON whose

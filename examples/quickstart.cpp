@@ -9,6 +9,7 @@
 //
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
 //               [--trace=trace.json] [--check] [--path=pull|packed]
+//               [--exchange-k=4]
 //               [--fault=crash] [--fault-rank=1] [--fault-op=20]
 //               [--fault-seed=7] [--straggle=0.5] [--drop=0.05]
 //               [--recovery=restart|resume|shrink]
@@ -18,6 +19,11 @@
 // --path selects the exchange data path (DESIGN.md sec. 11): "pull" is the
 // default single-copy alltoallv_into path, "packed" the legacy arena-staged
 // collective; results and simulated time are identical either way.
+// --exchange-k=K switches superstep 3 to the k-ary swap schedule with
+// merge/communication overlap (DESIGN.md sec. 13): ceil(log_K P) rounds of
+// K-1 partners each, merging previous arrivals while the current round's
+// copies are in flight. K=2 is the hypercube schedule, K>=P one direct
+// round. Without the flag the paper's single-alltoallv exchange is used.
 // --fault=crash kills --fault-rank at its --fault-op'th communication op;
 // --straggle=S delays it by S simulated seconds instead; --drop=P drops
 // each message with probability P (seeded by --fault-seed). Any of these
@@ -43,6 +49,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool check = false;
   core::DataPath path = core::DataPath::Pull;
+  int exchange_k = 0;  // 0 = alltoallv (the default exchange)
   std::string fault;
   int fault_rank = 1;
   u64 fault_op = 20;
@@ -66,6 +73,13 @@ int main(int argc, char** argv) {
         path = core::DataPath::Pull;
       } else {
         std::cerr << "unknown --path value: " << v << " (pull|packed)\n";
+        return 2;
+      }
+    }
+    if (arg.rfind("--exchange-k=", 0) == 0) {
+      exchange_k = std::stoi(arg.substr(13));
+      if (exchange_k < 2) {
+        std::cerr << "--exchange-k must be >= 2\n";
         return 2;
       }
     }
@@ -128,6 +142,11 @@ int main(int argc, char** argv) {
     core::SortConfig cfg;
     cfg.epsilon = epsilon;
     cfg.path = path;
+    if (exchange_k > 0) {
+      cfg.exchange = core::ExchangeAlgorithm::KAry;
+      cfg.exchange_k = exchange_k;
+      cfg.overlap_merge = true;
+    }
     core::ResilienceConfig rcfg;
     rcfg.mode = recovery;
     core::ResilienceReport rep;
@@ -174,6 +193,11 @@ int main(int argc, char** argv) {
     core::SortConfig cfg;
     cfg.epsilon = epsilon;
     cfg.path = path;
+    if (exchange_k > 0) {
+      cfg.exchange = core::ExchangeAlgorithm::KAry;
+      cfg.exchange_k = exchange_k;
+      cfg.overlap_merge = true;
+    }
     const core::SortStats stats = core::sort(comm, local, cfg);
 
     // 3. The local partition now holds this rank's slice of the globally

@@ -9,6 +9,7 @@
 // once, the design property the paper leans on for NUMA friendliness.
 #pragma once
 
+#include <memory>
 #include <numeric>
 #include <span>
 #include <vector>
@@ -556,6 +557,291 @@ ExchangeResult<T> exchange_hierarchical(runtime::Comm& comm,
   return out;
 }
 
+/// Per-round group sizes of the k-ary swap schedule for P ranks: a greedy
+/// factorization of P into the largest factors <= k, so the schedule runs
+/// ceil(log_k P) rounds whenever P is k-smooth. When the remaining cofactor
+/// has no divisor in [2, k] (e.g. prime P > k) its smallest prime factor is
+/// used instead — one wider round rather than a failure, so the schedule
+/// exists for every P. k == 2 at a power of two reproduces the hypercube
+/// dimensions; k >= P collapses to a single direct-exchange round.
+inline std::vector<int> kary_round_factors(int P, int k) {
+  HDS_CHECK(P >= 1);
+  if (k < 2) k = 2;
+  std::vector<int> factors;
+  int rem = P;
+  while (rem > 1) {
+    int f = std::min(rem, k);
+    while (f > 1 && rem % f != 0) --f;
+    if (f <= 1) {
+      f = rem;  // prime cofactor > k
+      for (int d = 2; d * d <= rem; ++d)
+        if (rem % d == 0) {
+          f = d;
+          break;
+        }
+    }
+    factors.push_back(f);
+    rem /= f;
+  }
+  return factors;
+}
+
+/// Per-round simulated-time attribution of one rank's k-ary exchange
+/// (bench_exchange's round breakdown): communication seconds vs the
+/// overlapped tail-merge seconds charged during that round.
+struct KAryRoundTrace {
+  double comm_s = 0.0;   ///< sends + receives of this round
+  double merge_s = 0.0;  ///< overlapped tail merge of the previous round
+};
+
+/// Tunable k-ary swap schedule with merge/communication overlap (PR 7,
+/// generalizing exchange_hypercube's k = 2 and the direct exchange's
+/// k = P; cf. diy's SortPartners). View every rank id in the mixed radix
+/// given by kary_round_factors(P, k): in round r, ranks sharing all digits
+/// except digit r form a group of f_r members, and each rank swaps with its
+/// f_r - 1 group partners every bucket whose destination differs in digit
+/// r — buckets reach their destination digit by digit, store-and-forward,
+/// in ceil(log_k P) rounds for k-smooth P (any P is supported through the
+/// factorization fallback).
+///
+/// With `overlap_merge`, runs that arrive at their final destination in
+/// round r-1 are tail-merged in place into the accumulated output *while
+/// round r's borrowed-payload copies are in flight*: the merge is charged
+/// through CostModel::overlapped_merge against the round's p2p window, so
+/// simulated time models the overlap explicitly, and the k-way tournament
+/// tail merge (merge_tail_inplace_kway) never allocates a full-size
+/// staging buffer. The last batch of arrivals has no later round to hide
+/// in and is charged in full. Without `overlap_merge` the chunks are
+/// concatenated and recv_counts returned for superstep 4, exactly like
+/// exchange_hypercube.
+template <class T, class UK, class KeyFn>
+ExchangeResult<T> exchange_kary(
+    runtime::Comm& comm, std::span<const T> sorted_local,
+    const SplitterResult<UK>& sp, KeyFn key, int k, bool overlap_merge,
+    DataPath path = DataPath::Pull,
+    std::vector<KAryRoundTrace>* round_trace = nullptr) {
+  net::PhaseScope phase(comm.clock(), net::Phase::Exchange);
+  const int P = comm.size();
+  const int me = comm.rank();
+  const std::vector<int> factors = kary_round_factors(P, k);
+  const usize nrounds = factors.size();
+  if (round_trace) round_trace->assign(nrounds, {});
+
+  ExchangeResult<T> out;
+  const std::vector<usize> send =
+      compute_send_counts(comm, sorted_local.size(), sp);
+  std::vector<usize> offsets(P + 1, 0);
+  for (int d = 0; d < P; ++d) offsets[d + 1] = offsets[d] + send[d];
+  out.elements_kept = send[me];
+  for (int d = 0; d < P; ++d)
+    if (d != me) out.elements_sent_off_rank += send[d];
+  note_exchange_metrics(comm, send, sizeof(T));
+
+  auto less = [&](const T& a, const T& b) { return key(a) < key(b); };
+
+  // Runs in flight, keyed by final destination. A run is a *view*: into the
+  // caller's sorted_local (initial slices, valid for the whole call) or
+  // into an earlier round's arrival buffer (kept alive in `arrivals` until
+  // the exchange returns). Store-and-forward therefore costs exactly one
+  // copy per forwarding hop — at serialization — plus the single receive
+  // copy, and a package holding a single run is lent straight from its
+  // source buffer without any serialization copy at all (for k >= P the
+  // whole exchange degenerates to lending sorted_local slices).
+  std::vector<std::vector<std::span<const T>>> bucket(P);
+  for (int d = 0; d < P; ++d)
+    if (send[d] != 0 && (d != me || !overlap_merge))
+      bucket[d].push_back(sorted_local.subspan(offsets[d], send[d]));
+  std::vector<T> acc;
+  std::vector<std::span<const T>> pending;  // final-destination arrivals
+  std::vector<std::unique_ptr<T[]>> arrivals;  // keep-alive arrival buffers
+  std::vector<std::vector<T>> arrivals_packed;
+  // The rank's own kept slice stays in sorted_local until the first drain
+  // merges it (as the base run of kway_merge_into) — no upfront copy.
+  const std::span<const T> kept = sorted_local.subspan(offsets[me], send[me]);
+  bool kept_in_acc = !overlap_merge;
+
+  // Merge the pending runs with acc (first drain: with the kept slice,
+  // directly out of sorted_local); charged by `charge`.
+  auto drain_pending = [&](auto&& charge) {
+    const usize n1 = kept_in_acc ? acc.size() : kept.size();
+    usize add = 0;
+    for (const auto& run : pending) add += run.size();
+    acc.resize(n1 + add);
+    if (kept_in_acc) {
+      merge_tail_inplace_kway(std::span<T>(acc), n1,
+                              std::span<const std::span<const T>>(pending),
+                              less);
+    } else {
+      kway_merge_into(std::span<T>(acc), kept,
+                      std::span<const std::span<const T>>(pending), less);
+      kept_in_acc = true;
+    }
+    charge(acc.size(), pending.size() + (n1 > 0 ? 1 : 0));
+    pending.clear();
+  };
+
+  const u64 tag_base = 0x4a59ULL << 24;
+  int stride = 1;
+  for (usize r = 0; r < nrounds; ++r) {
+    const int f = factors[r];
+    const int digit = (me / stride) % f;
+    const int base = me - digit * stride;
+    const double round_t0 = comm.clock().now();
+
+    // Serialize one package per group partner: every bucket whose
+    // destination's round-r digit matches that partner's digit. Header =
+    // [ndests, (dest, nruns, runlen...)...], payload the runs concatenated
+    // in header order (the hypercube wire format).
+    std::vector<std::vector<u64>> header(f);
+    std::vector<std::vector<std::span<const T>>> outruns(f);
+    std::vector<std::vector<T>> payload(f);  // only built for >1 run
+    for (int c = 0; c < f; ++c) header[c].assign(1, 0);
+    for (int d = 0; d < P; ++d) {
+      const int dd = (d / stride) % f;
+      if (dd == digit || bucket[d].empty()) continue;
+      auto& h = header[dd];
+      ++h[0];
+      h.push_back(static_cast<u64>(d));
+      h.push_back(bucket[d].size());
+      for (const auto& run : bucket[d]) {
+        h.push_back(run.size());
+        outruns[dd].push_back(run);
+      }
+      bucket[d].clear();
+    }
+
+    // Post every send of the round before any receive, so the
+    // borrowed-payload copies are in flight while the previous round's
+    // tail merge below runs. `window_s` is the p2p time of this round's
+    // outgoing copies — the communication window the merge hides under.
+    std::vector<runtime::BorrowToken> loans;
+    loans.reserve(static_cast<usize>(f) - 1);
+    double window_s = 0.0;
+    for (int c = 0; c < f; ++c) {
+      if (c == digit) continue;
+      const int partner = base + c * stride;
+      comm.send(partner, tag_base + 2 * r, std::span<const u64>(header[c]),
+                net::Traffic::Control);
+      std::span<const T> pkg;
+      if (outruns[c].size() == 1) {
+        pkg = outruns[c][0];  // lend the source buffer itself
+      } else if (!outruns[c].empty()) {
+        auto& pl = payload[c];
+        usize need = 0;
+        for (const auto& run : outruns[c]) need += run.size();
+        pl.reserve(need);
+        for (const auto& run : outruns[c])
+          pl.insert(pl.end(), run.begin(), run.end());
+        pkg = std::span<const T>(pl);
+      }
+      if (path == DataPath::Pull)
+        loans.push_back(
+            comm.send_borrowed(partner, tag_base + 2 * r + 1, pkg));
+      else
+        comm.send(partner, tag_base + 2 * r + 1, pkg, net::Traffic::Data);
+      window_s += comm.cost().p2p(comm.world_rank(),
+                                  comm.world_rank_of(partner),
+                                  pkg.size() * sizeof(T), net::Traffic::Data);
+    }
+
+    // Overlap: merge the previous round's final-destination runs while
+    // this round's copies are in flight. Only the residue of the merge not
+    // hidden by the window lands on the clock (Merge phase, so the obs
+    // attribution still reconciles).
+    if (overlap_merge && !pending.empty()) {
+      net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
+      const double m0 = comm.clock().now();
+      drain_pending([&](usize n, usize nruns) {
+        comm.charge_overlapped_merge(n, nruns, window_s);
+      });
+      if (round_trace) (*round_trace)[r].merge_s = comm.clock().now() - m0;
+    }
+
+    // Receive from every group partner and dispatch the runs: final
+    // destination runs (d == me) feed the overlap pipeline, the rest are
+    // forwarded in a later round. In the last round every digit has been
+    // resolved, so every incoming run is for this rank.
+    for (int c = 0; c < f; ++c) {
+      if (c == digit) continue;
+      const int partner = base + c * stride;
+      const std::vector<u64> rheader =
+          comm.recv<u64>(partner, tag_base + 2 * r);
+      usize incoming = 0;
+      {
+        usize hoff = 1;
+        for (u64 e = 0; e < rheader[0]; ++e) {
+          hoff++;  // dest
+          const u64 nruns = rheader[hoff++];
+          for (u64 q = 0; q < nruns; ++q) incoming += rheader[hoff++];
+        }
+      }
+      std::span<const T> buf;
+      if (path == DataPath::Pull) {
+        // The header carries every run length, so the payload lands in an
+        // exactly-sized, deliberately uninitialized buffer in one copy
+        // from the partner's lent source (a zero-initializing vector here
+        // would cost a full extra pass over the arrival data).
+        auto raw = std::make_unique_for_overwrite<T[]>(incoming);
+        const usize got = comm.recv_into(partner, tag_base + 2 * r + 1,
+                                         std::span<T>(raw.get(), incoming));
+        HDS_CHECK(got == incoming);
+        buf = std::span<const T>(raw.get(), incoming);
+        arrivals.push_back(std::move(raw));
+      } else {
+        arrivals_packed.push_back(comm.recv<T>(partner, tag_base + 2 * r + 1));
+        HDS_CHECK(arrivals_packed.back().size() == incoming);
+        buf = std::span<const T>(arrivals_packed.back());
+      }
+      usize hoff = 1, poff = 0;
+      for (u64 e = 0; e < rheader[0]; ++e) {
+        const int d = static_cast<int>(rheader[hoff++]);
+        const u64 nruns = rheader[hoff++];
+        for (u64 q = 0; q < nruns; ++q) {
+          const u64 len = rheader[hoff++];
+          const std::span<const T> run(buf.data() + poff, len);
+          if (overlap_merge && d == me)
+            pending.push_back(run);
+          else
+            bucket[d].push_back(run);
+          poff += len;
+        }
+      }
+      HDS_CHECK(poff == buf.size());
+    }
+    // Reclaim the loans only after our own receives: the group round is
+    // symmetric, so waiting before them would deadlock it.
+    for (auto& loan : loans) loan.wait();
+    if (round_trace)
+      (*round_trace)[r].comm_s =
+          comm.clock().now() - round_t0 - (*round_trace)[r].merge_s;
+    stride *= f;
+  }
+
+  if (overlap_merge) {
+    // The final arrivals have no later round to overlap with: full charge.
+    if (!pending.empty()) {
+      net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
+      drain_pending(
+          [&](usize n, usize nruns) { comm.charge_kway_merge(n, nruns); });
+    }
+    if (!kept_in_acc) acc.assign(kept.begin(), kept.end());
+    out.data = std::move(acc);
+    if (!out.data.empty()) out.recv_counts.push_back(out.data.size());
+  } else {
+    usize mine = 0;
+    for (const auto& run : bucket[me]) mine += run.size();
+    out.data.reserve(mine);
+    for (const auto& run : bucket[me]) {
+      out.data.insert(out.data.end(), run.begin(), run.end());
+      out.recv_counts.push_back(run.size());
+    }
+  }
+  usize total = 0;
+  for (usize c : out.recv_counts) total += c;
+  HDS_CHECK(total == out.data.size());
+  return out;
+}
+
 /// 1-factor partner of rank i in round r (circle method): P-1 rounds for
 /// even P; for odd P every rank idles exactly once (partner == i).
 inline int one_factor_partner(int P, int round, int i) {
@@ -637,22 +923,21 @@ ExchangeResult<T> exchange_one_factor(runtime::Comm& comm,
         counts.push_back(comm.recv_append(partner, tag_base + r, acc));
         loan.wait();
       }
+    } else if (overlap_merge) {
+      // Merge-on-arrival, same in-place shape as the pull path: receive
+      // into the pooled scratch and backward-merge into acc's tail — no
+      // full-size `merged` staging vector per round.
+      chunk.clear();
+      comm.recv_append(partner, tag_base + r, chunk);
+      net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
+      const usize n1 = acc.size();
+      acc.resize(n1 + chunk.size());
+      merge_tail_inplace(std::span<T>(acc), n1, std::span<const T>(chunk),
+                         less);
+      comm.charge_merge_pass(acc.size());
+      counts[0] = acc.size();
     } else {
-      std::vector<T> rchunk = comm.recv<T>(partner, tag_base + r);
-      if (overlap_merge) {
-        // Merge-on-arrival: each pairwise exchange immediately "gives" its
-        // chunk to a binary merge, overlapping with later rounds.
-        net::PhaseScope merge_phase(comm.clock(), net::Phase::Merge);
-        std::vector<T> merged(acc.size() + rchunk.size());
-        std::merge(acc.begin(), acc.end(), rchunk.begin(), rchunk.end(),
-                   merged.begin(), less);
-        comm.charge_merge_pass(merged.size());
-        acc = std::move(merged);
-        counts[0] = acc.size();
-      } else {
-        counts.push_back(rchunk.size());
-        acc.insert(acc.end(), rchunk.begin(), rchunk.end());
-      }
+      counts.push_back(comm.recv_append(partner, tag_base + r, acc));
     }
   }
   out.data = std::move(acc);

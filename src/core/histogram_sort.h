@@ -45,6 +45,11 @@ enum class ExchangeAlgorithm : u8 {
               ///< (Sec. VI-E1); requires a power-of-two rank count
   Hierarchical,  ///< node-leader funneling (Sec. VI-E1): only one core per
                  ///< node touches the NIC; world communicator only
+  KAry,  ///< tunable k-ary swap schedule (DESIGN.md sec. 13): store-and-
+         ///< forward in ceil(log_k P) rounds of k-1 group partners each,
+         ///< spanning hypercube (k = 2) to direct exchange (k >= P); any
+         ///< rank count; with overlap_merge, round r-1's arrivals are
+         ///< tail-merged while round r's payload copies are in flight
 };
 
 struct SortConfig {
@@ -60,8 +65,16 @@ struct SortConfig {
   /// core/exchange.h): Pull is the single-copy path, Packed the legacy
   /// arena-staged reference. Identical results and simulated time.
   DataPath path = DataPath::Pull;
-  /// With ExchangeAlgorithm::OneFactor: binary-merge each received chunk on
-  /// arrival, overlapping superstep 4 with the remaining rounds.
+  /// With ExchangeAlgorithm::KAry: per-round group size ("radix") of the
+  /// swap schedule. 2 reproduces the hypercube's log2(P) rounds of one
+  /// partner; >= P collapses to a single direct-exchange round; values in
+  /// between trade rounds (latency, forwarding traffic) against partners
+  /// per round and merge fan-in. See kary_round_factors for non-k-smooth P.
+  int exchange_k = 4;
+  /// With ExchangeAlgorithm::OneFactor or KAry: merge received chunks on
+  /// arrival instead of in superstep 4, overlapping the merge with the
+  /// remaining communication rounds (for KAry the overlap is charged
+  /// against the round's p2p window via CostModel::overlapped_merge).
   bool overlap_merge = false;
   /// Skip superstep 1 when the caller guarantees sorted local input.
   bool input_is_sorted = false;
@@ -145,6 +158,10 @@ void superstep_exchange(runtime::Comm& comm, SortState<T, UK>& st,
       break;
     case ExchangeAlgorithm::Hierarchical:
       ex = exchange_hierarchical(comm, sorted_view, st.splitters, cfg.path);
+      break;
+    case ExchangeAlgorithm::KAry:
+      ex = exchange_kary(comm, sorted_view, st.splitters, key,
+                         cfg.exchange_k, cfg.overlap_merge, cfg.path);
       break;
     case ExchangeAlgorithm::Alltoallv:
       ex = exchange(comm, sorted_view, st.splitters, cfg.path);

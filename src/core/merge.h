@@ -10,7 +10,9 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.h"
@@ -19,6 +21,30 @@
 #include "runtime/comm.h"
 
 namespace hds::core {
+
+namespace detail {
+
+/// View of the rank's pooled byte arena (Comm::scratch_arena) as `n`
+/// elements of T. The arena is grown once and then reused across merge
+/// passes, exchange rounds and sort calls, replacing the per-call staging
+/// allocations the merge strategies used to make. T must be trivially
+/// copyable (the same constraint the wire format imposes) because the bytes
+/// are reinterpreted without constructing objects. The returned span is
+/// invalidated by the next pooled_scratch call on the same rank.
+template <class T>
+std::span<T> pooled_scratch(runtime::Comm& comm, usize n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto& arena = comm.scratch_arena();
+  const usize bytes = n * sizeof(T) + alignof(T);
+  if (arena.size() < bytes) arena.resize(bytes);
+  void* p = arena.data();
+  usize space = arena.size();
+  p = std::align(alignof(T), n * sizeof(T), p, space);
+  HDS_CHECK(p != nullptr);
+  return {static_cast<T*>(p), n};
+}
+
+}  // namespace detail
 
 enum class MergeStrategy : u8 { Sort, BinaryTree, Tournament };
 
@@ -159,50 +185,54 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
           runs[0].second + runs[1].second == n) {
         // Two adjacent runs spanning the buffer — the shape every pull-path
         // exchange produces at P=2 and the one-factor overlap path feeds.
-        // Merge in place: only the second run is staged (scratch of l2
-        // elements, not a full-size ping-pong buffer), then a backward
+        // Merge in place: only the second run is staged (pooled scratch of
+        // l2 elements, not a full-size ping-pong buffer), then a backward
         // merge places everything at its final offset.
         const usize l1 = runs[0].second;
-        std::vector<T> scratch(data.begin() + l1, data.end());
+        const usize l2 = runs[1].second;
+        std::span<T> scratch = detail::pooled_scratch<T>(comm, l2);
+        std::copy(data.begin() + l1, data.end(), scratch.begin());
         merge_tail_inplace(std::span<T>(data), l1,
                            std::span<const T>(scratch), less);
         comm.charge_merge_pass(n);
         comm.metrics().add(obs::Counter::MergeComparisons, comparisons);
         return;
       }
-      std::vector<T> buf(n);
-      std::vector<T>* src = &data;
-      std::vector<T>* dst = &buf;
+      // Ping-pong between `data` and the pooled arena — no per-call
+      // full-size buffer allocation.
+      std::span<T> src(data.data(), n);
+      std::span<T> dst = detail::pooled_scratch<T>(comm, n);
       while (runs.size() > 1) {
         std::vector<std::pair<usize, usize>> next;
         usize out_off = 0;
         for (usize i = 0; i + 1 < runs.size(); i += 2) {
           const auto [o1, l1] = runs[i];
           const auto [o2, l2] = runs[i + 1];
-          std::merge(src->begin() + o1, src->begin() + o1 + l1,
-                     src->begin() + o2, src->begin() + o2 + l2,
-                     dst->begin() + out_off, less);
+          std::merge(src.begin() + o1, src.begin() + o1 + l1,
+                     src.begin() + o2, src.begin() + o2 + l2,
+                     dst.begin() + out_off, less);
           next.emplace_back(out_off, l1 + l2);
           out_off += l1 + l2;
         }
         if (runs.size() % 2 == 1) {
           const auto [o, l] = runs.back();
-          std::copy(src->begin() + o, src->begin() + o + l,
-                    dst->begin() + out_off);
+          std::copy(src.begin() + o, src.begin() + o + l,
+                    dst.begin() + out_off);
           next.emplace_back(out_off, l);
         }
         comm.charge_merge_pass(n);
         runs.swap(next);
         std::swap(src, dst);
       }
-      if (src != &data) data.swap(buf);
+      if (src.data() != data.data())
+        std::copy(src.begin(), src.end(), data.begin());
       comm.metrics().add(obs::Counter::MergeComparisons, comparisons);
       return;
     }
     case MergeStrategy::Tournament: {
-      // The loser tree reads the runs in place and extracts into a fresh
-      // output buffer, which then replaces `data` in O(1) — one full copy
-      // of n elements fewer than snapshotting the input first.
+      // The loser tree reads the runs in place and extracts into the pooled
+      // arena, which is then copied back over `data` — no per-call output
+      // allocation.
       std::vector<std::span<const T>> runs;
       usize off = 0;
       for (usize c : counts) {
@@ -211,11 +241,11 @@ void merge_chunks(runtime::Comm& comm, std::vector<T>& data,
         off += c;
       }
       LoserTree<T, decltype(less)> tree(std::move(runs), less);
-      std::vector<T> out;
-      out.reserve(n);
-      while (!tree.empty()) out.push_back(tree.pop());
-      HDS_CHECK(out.size() == n);
-      data.swap(out);
+      std::span<T> out = detail::pooled_scratch<T>(comm, n);
+      usize w = 0;
+      while (!tree.empty()) out[w++] = tree.pop();
+      HDS_CHECK(w == n);
+      std::copy(out.begin(), out.end(), data.begin());
       comm.charge_kway_merge(n, nonempty);
       comm.metrics().add(obs::Counter::MergeComparisons, comparisons);
       return;

@@ -109,6 +109,14 @@ class Comm {
   /// nullptr otherwise. Distributed containers report their one-sided
   /// accesses through this (see runtime/global_vector.h).
   check::RaceDetector* checker() const { return team_->race_detector(); }
+  /// This rank's pooled scratch arena: raw bytes reused across merge passes
+  /// and exchange rounds instead of per-call staging allocations. Touched
+  /// only by the owning rank's thread; contents are unspecified between
+  /// uses (callers size and overwrite it). Never holds live data across a
+  /// communication op the caller does not control.
+  std::vector<std::byte>& scratch_arena() {
+    return team_->scratch_[static_cast<usize>(world_rank())];
+  }
 
   // --- computation charges --------------------------------------------------
   void charge_seconds(double s) { clock().advance(s); }
@@ -123,6 +131,12 @@ class Comm {
   void charge_merge_pass(usize n) { clock().advance(cost().merge_pass(n)); }
   void charge_kway_merge(usize n, usize k) {
     clock().advance(cost().kway_heap_merge(n, k));
+  }
+  /// K-way merge overlapped with `window_s` seconds of in-flight exchange
+  /// copies (the k-ary schedule's round pipeline): only the non-hidden
+  /// residue of the merge lands on this rank's clock.
+  void charge_overlapped_merge(usize n, usize k, double window_s) {
+    clock().advance(cost().overlapped_merge(n, k, window_s));
   }
   void charge_partition(usize n) { clock().advance(cost().partition(n)); }
   void charge_scan(usize n) { clock().advance(cost().linear_scan(n)); }

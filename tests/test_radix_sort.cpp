@@ -394,6 +394,7 @@ std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
     case ExchangeAlgorithm::OneFactor: e = "OneFactor"; break;
     case ExchangeAlgorithm::Hypercube: e = "Hypercube"; break;
     case ExchangeAlgorithm::Hierarchical: e = "Hierarchical"; break;
+    case ExchangeAlgorithm::KAry: e = "KAry"; break;
   }
   return std::string(kernel_name(kernel)) + "_" + e;
 }
