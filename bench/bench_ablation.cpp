@@ -50,7 +50,16 @@ RunResult run_sort(int nodes, int rpn, u64 model_keys, u64 real_keys,
     const auto st = core::sort(c, local, scfg);
     if (c.rank() == 0) iters = st.histogram_iterations;
   });
-  if (g_args != nullptr) bench::write_trace_if_requested(*g_args, team);
+  if (g_args != nullptr) {
+    bench::write_trace_if_requested(*g_args, team);
+    bench::write_ledger_if_requested(
+        *g_args, team, "bench_ablation",
+        static_cast<u64>(n_rank) * static_cast<u64>(cfg.nranks),
+        {{"nodes", std::to_string(nodes)},
+         {"ranks_per_node", std::to_string(rpn)},
+         {"intra_node_shortcut", shortcut ? "1" : "0"}},
+        {{"sim_makespan_s", team.stats().makespan_s}});
+  }
   return {team.stats().makespan_s, iters};
 }
 

@@ -9,12 +9,15 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "net/machine.h"
+#include "obs/features.h"
+#include "obs/ledger.h"
 #include "obs/report.h"
 #include "runtime/comm.h"
 #include "runtime/team.h"
@@ -87,6 +90,70 @@ inline void write_trace_if_requested(const Args& args,
   std::cerr << "  trace: " << trace->total_events() << " events ("
             << trace->nranks << " ranks) -> " << path << "\n"
             << trace->comm_matrix().summary() << "\n";
+}
+
+/// `--ledger[=out.json]` support: distill the team's most recent traced run
+/// into a versioned RunLedger (obs/ledger.h), attach the fitted cost
+/// features, and write it. `bench` names the producing binary; `config`
+/// records the cell's knobs and `scalars` its headline numbers (the cells
+/// tools/perf_history.py tracks). Also prints the differential-profiler
+/// attribution table, and with `--calibration[=out.json]` exports the
+/// fitted per-class constants for the tuner. No-op without the flag or
+/// when tracing was off.
+inline void write_ledger_if_requested(
+    const Args& args, const runtime::Team& team, const std::string& bench,
+    u64 total_elements,
+    std::vector<std::pair<std::string, std::string>> config = {},
+    std::vector<std::pair<std::string, double>> scalars = {}) {
+  if (!args.has("ledger")) return;
+  const obs::TraceReport* trace = team.trace();
+  if (trace == nullptr) return;
+  obs::RunLedger led = obs::RunLedger::from_trace(*trace, team.cost());
+  led.bench = bench;
+  led.total_elements = total_elements;
+  led.config = std::move(config);
+  led.scalars = std::move(scalars);
+  obs::attach_features(led, team.cost());
+  std::string path = args.get_string("ledger", "ledger.json");
+  if (path == "1") path = "ledger.json";
+  std::ofstream out(path);
+  led.write_json(out);
+  std::cerr << "  ledger: " << led.samples.size() << " op samples ("
+            << led.nranks << " ranks) -> " << path << "\n";
+  std::cout << obs::attribution_table(led);
+  if (args.has("calibration")) {
+    std::string cpath = args.get_string("calibration", "calibration.json");
+    if (cpath == "1") cpath = "calibration.json";
+    std::ofstream cout_(cpath);
+    obs::write_calibration_json(cout_, led);
+    std::cerr << "  calibration: " << led.features.fits.size()
+              << " class fits -> " << cpath << "\n";
+  }
+}
+
+/// Ledger variant for wall-clock benches that never build a Team
+/// (bench_local_sort): machine config and per-phase data are empty, only
+/// the headline scalars are recorded — still enough for the perf-history
+/// comparator to track the cells.
+inline void write_wallclock_ledger_if_requested(
+    const Args& args, const std::string& bench, u64 total_elements,
+    std::vector<std::pair<std::string, std::string>> config,
+    std::vector<std::pair<std::string, double>> scalars) {
+  if (!args.has("ledger")) return;
+  obs::RunLedger led;
+  led.bench = bench;
+  led.nranks = 1;
+  led.nodes = 1;
+  led.ranks_per_node = 1;
+  led.total_elements = total_elements;
+  led.config = std::move(config);
+  led.scalars = std::move(scalars);
+  std::string path = args.get_string("ledger", "ledger.json");
+  if (path == "1") path = "ledger.json";
+  std::ofstream out(path);
+  led.write_json(out);
+  std::cerr << "  ledger: " << led.scalars.size() << " scalar cells -> "
+            << path << "\n";
 }
 
 /// Node counts 1, 2, 4, ..., max (the paper's strong/weak scaling x-axis).

@@ -177,6 +177,83 @@ double time_kary(int P, usize n, int reps, u64 seed, core::DataPath path,
   return median(std::move(t_total));
 }
 
+/// One representative traced run for --trace / --ledger (satellite of the
+/// observability PR): u64 keys at P=16 through the pull-path k-ary exchange
+/// with merge overlap — the configuration the CI gate watches — executed
+/// once in a trace-enabled team so the run ledger gets real slices. The
+/// wall-clock cells above stay untraced: tracing is observational for
+/// simulated time but not for the real time they measure.
+void run_traced_representative(const bench::Args& args, usize n, u64 seed,
+                               const std::vector<Cell>& cells) {
+  if (!args.has("trace") && !args.has("ledger")) return;
+  constexpr int P = 16;
+  constexpr int kArity = 4;
+  runtime::TeamConfig tcfg;
+  tcfg.nranks = P;
+  tcfg.trace = true;
+  runtime::Team team(tcfg);
+  team.run([&](runtime::Comm& c) {
+    const auto key = [](u64 v) { return v; };
+    Xoshiro256 rng(hash_mix(seed, static_cast<u64>(c.rank())));
+    std::vector<u64> local(n);
+    for (auto& v : local) v = rng();
+    {
+      net::PhaseScope ps(c.clock(), net::Phase::LocalSort);
+      std::sort(local.begin(), local.end());
+      c.charge_sort(local.size());
+    }
+    const std::span<const u64> sorted_view(local.data(), local.size());
+    std::vector<usize> targets(static_cast<usize>(P) - 1);
+    for (usize b = 0; b < targets.size(); ++b) targets[b] = (b + 1) * n;
+    const auto sp = [&] {
+      net::PhaseScope ps(c.clock(), net::Phase::Histogram);
+      return core::find_splitters(c, sorted_view, key,
+                                  std::span<const usize>(targets));
+    }();
+    net::PhaseScope ps(c.clock(), net::Phase::Exchange);
+    auto ex = core::exchange_kary(c, sorted_view, sp, key, kArity,
+                                  /*overlap_merge=*/true,
+                                  core::DataPath::Pull, nullptr);
+    if (!std::is_sorted(ex.data.begin(), ex.data.end())) {
+      std::cerr << "FATAL: traced k-ary exchange produced unsorted output\n";
+      std::exit(1);
+    }
+  });
+  bench::write_trace_if_requested(args, team);
+
+  // Headline cells for the perf history: deterministic simulated seconds
+  // from the traced run (gated at >10% regression) plus the wall-clock
+  // speedups of the gate cells (recorded, warn-only — they move with the
+  // host machine).
+  std::vector<std::pair<std::string, double>> scalars = {
+      {"sim_makespan_s", team.stats().makespan_s},
+      {"sim_exchange_s", team.stats().phase_seconds(net::Phase::Exchange)},
+      {"sim_merge_s", team.stats().phase_seconds(net::Phase::Merge)},
+      {"sim_histogram_s", team.stats().phase_seconds(net::Phase::Histogram)},
+  };
+  double best_kary = 0.0;
+  for (const Cell& cell : cells) {
+    if (cell.type != "u64" || cell.nranks != P) continue;
+    if (cell.algo == "kary")
+      best_kary = std::max(best_kary, cell.speedup_vs_packed);
+    else if (cell.path == "pull" && cell.phase == "exchange")
+      scalars.emplace_back("wall_pull_speedup_u64_exchange",
+                           cell.speedup_vs_packed);
+  }
+  if (best_kary > 0.0)
+    scalars.emplace_back("wall_kary_best_speedup_u64", best_kary);
+
+  bench::write_ledger_if_requested(
+      args, team, "bench_exchange", static_cast<u64>(n) * P,
+      {{"type", "u64"},
+       {"algo", "kary"},
+       {"k", std::to_string(kArity)},
+       {"path", "pull"},
+       {"n_per_rank", std::to_string(n)},
+       {"seed", std::to_string(seed)}},
+      std::move(scalars));
+}
+
 void write_json(const std::string& path, const std::vector<Cell>& cells) {
   std::ofstream out(path);
   out << "[\n";
@@ -315,6 +392,7 @@ int main(int argc, char** argv) {
   std::cout << "\nk-ary interleaved exchange (overlap_merge, pull path) vs "
                "packed alltoallv exchange+merge:\n"
             << kary_table.to_string();
+  run_traced_representative(args, n_u64, seed, cells);
   write_json(out_path, cells);
   std::cout << "wrote " << out_path << " (" << cells.size() << " cells)\n";
   return 0;

@@ -73,6 +73,13 @@ int main(int argc, char** argv) {
         return team.stats().makespan_s;
       });
       bench::write_trace_if_requested(args, team);
+      bench::write_ledger_if_requested(
+          args, team, "bench_fig2_strong",
+          static_cast<u64>(n_rank) * static_cast<u64>(P),
+          {{"nodes", std::to_string(nodes)},
+           {"ranks_per_node", std::to_string(rpn)},
+           {"n_per_rank", std::to_string(n_rank)}},
+          {{"sim_makespan_s", team.stats().makespan_s}});
     }
     {
       Team team(cfg);

@@ -66,6 +66,13 @@ int main(int argc, char** argv) {
         return team.stats().makespan_s;
       });
       bench::write_trace_if_requested(args, team);
+      bench::write_ledger_if_requested(
+          args, team, "bench_fig3_weak",
+          static_cast<u64>(real_per_rank) * static_cast<u64>(P),
+          {{"nodes", std::to_string(nodes)},
+           {"ranks_per_node", std::to_string(rpn)},
+           {"real_keys_per_rank", std::to_string(real_per_rank)}},
+          {{"sim_makespan_s", team.stats().makespan_s}});
     }
     {
       Team team(cfg);

@@ -211,6 +211,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --ledger: wall-clock benches have no Team, so emit the scalar-only
+  // ledger variant. Cells carry the "wall_" prefix — tools/perf_history.py
+  // only warns on these (hardware-dependent), never gates.
+  {
+    u64 total = 0;
+    std::vector<std::pair<std::string, double>> scalars;
+    for (const Cell& c : cells) {
+      if (c.n != sizes.back() || c.kernel != "radix") continue;
+      total += c.n;
+      scalars.emplace_back("wall_radix_speedup_" + c.type,
+                           c.speedup_vs_comparison);
+      if (c.type == "u64")
+        scalars.emplace_back(
+            "wall_radix_s_per_elem_pass",
+            c.seconds_median / (static_cast<double>(c.n) * 8.0));
+    }
+    bench::write_wallclock_ledger_if_requested(
+        args, "bench_local_sort", total,
+        {{"max_exp", std::to_string(max_exp)},
+         {"reps", std::to_string(reps)},
+         {"seed", std::to_string(seed)}},
+        std::move(scalars));
+  }
+
   write_json(out_path, cells);
   std::cout << "wrote " << out_path << " (" << cells.size() << " cells)\n";
   return 0;

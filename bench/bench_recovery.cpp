@@ -78,6 +78,47 @@ RunResult run_mode(int P, usize n, u64 seed, core::RecoveryMode mode,
   return {rep.sim_seconds_total, rep};
 }
 
+/// One representative traced run for --trace / --ledger: the P=8
+/// checkpointed fault-free sort (the configuration both gates depend on)
+/// re-executed in a trace-enabled team. The headline scalars distilled into
+/// the ledger are the deterministic simulated-time cells the perf history
+/// gates: fault-free seconds and overhead per P, plus resume-vs-restart
+/// for each crash point.
+void run_traced_representative(const bench::Args& args, usize n, u64 seed,
+                               const std::vector<Cell>& cells) {
+  if (!args.has("trace") && !args.has("ledger")) return;
+  constexpr int P = 8;
+  runtime::TeamConfig cfg;
+  cfg.nranks = P;
+  cfg.watchdog_timeout_s = 30.0;
+  cfg.trace = true;
+  runtime::Team team(cfg);
+  auto parts = make_input(P, n, seed);
+  core::ResilienceConfig rcfg;
+  rcfg.mode = core::RecoveryMode::ResumeCheckpoint;
+  rcfg.fault_budget = 4;
+  core::ResilienceReport rep;
+  (void)core::sort_resilient(team, parts, core::SortConfig{}, rcfg, &rep);
+  bench::write_trace_if_requested(args, team);
+
+  std::vector<std::pair<std::string, double>> scalars;
+  for (const Cell& c : cells) {
+    const std::string p = "_P" + std::to_string(c.nranks);
+    if (c.kind == "overhead" && c.mode == "plain")
+      scalars.emplace_back("sim_plain_s" + p, c.sim_seconds);
+    if (c.kind == "overhead" && c.mode == "checkpointed")
+      scalars.emplace_back("sim_ckpt_overhead_frac" + p, c.overhead_frac);
+    if (c.kind == "crash" && c.mode == "ResumeCheckpoint")
+      scalars.emplace_back("sim_resume_vs_restart_" + c.crash, c.vs_restart);
+  }
+  bench::write_ledger_if_requested(
+      args, team, "bench_recovery", static_cast<u64>(n) * P,
+      {{"mode", "ResumeCheckpoint"},
+       {"n_per_rank", std::to_string(n)},
+       {"seed", std::to_string(seed)}},
+      std::move(scalars));
+}
+
 void write_json(const std::string& path, const std::vector<Cell>& cells) {
   std::ofstream out(path);
   out << "[\n";
@@ -197,6 +238,7 @@ int main(int argc, char** argv) {
   }
   std::cout << tbl.to_string();
 
+  run_traced_representative(args, n, seed, cells);
   write_json(out_path, cells);
   std::cout << "\nwrote " << cells.size() << " cells -> " << out_path
             << "\n";

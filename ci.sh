@@ -52,27 +52,14 @@ fi
 
 # Perf smoke: the radix kernel must beat std::sort on uniform u64 at
 # n = 2^20 on whatever hardware CI runs on — this is the wall-clock claim
-# the Auto crossover is built on. Also validates the JSON the bench emits.
+# the Auto crossover is built on. tools/validate_bench.py checks the JSON
+# shape and applies the gate; the ledger feeds the perf-history stage below.
 echo "=== perf smoke: bench_local_sort ==="
 (cd build-ci-relwithdebinfo &&
-  ./bench/bench_local_sort --max_exp=20 --reps=3 --out=BENCH_local_sort.json)
-python3 - build-ci-relwithdebinfo/BENCH_local_sort.json <<'PYEOF'
-import json, sys
-cells = json.load(open(sys.argv[1]))
-assert isinstance(cells, list) and cells, "empty or malformed JSON"
-for c in cells:
-    for k in ("type", "n", "kernel", "seconds_median",
-              "speedup_vs_comparison"):
-        assert k in c, f"missing field {k}: {c}"
-target = [c for c in cells
-          if c["type"] == "u64" and c["n"] == 1 << 20 and
-             c["kernel"] == "radix"]
-assert target, "no u64 radix cell at n=2^20"
-speedup = target[0]["speedup_vs_comparison"]
-assert speedup > 1.0, f"radix lost to std::sort on u64 at 2^20: {speedup}x"
-print(f"perf smoke OK: radix {speedup:.2f}x faster than std::sort "
-      "(u64, n=2^20)")
-PYEOF
+  ./bench/bench_local_sort --max_exp=20 --reps=3 \
+    --out=BENCH_local_sort.json --ledger=LEDGER_local_sort.json)
+python3 tools/validate_bench.py local_sort \
+  build-ci-relwithdebinfo/BENCH_local_sort.json
 
 # Perf gate: the single-copy pull path must beat the packed path by >= 1.3x
 # on the u64 P=16 exchange superstep (DESIGN.md sec. 11 — the copy-count
@@ -84,47 +71,10 @@ PYEOF
 # its wall-clock only dilutes the copy delta.
 echo "=== perf gate: bench_exchange ==="
 (cd build-ci-relwithdebinfo &&
-  ./bench/bench_exchange --reps=7 --out=BENCH_exchange.json)
-python3 - build-ci-relwithdebinfo/BENCH_exchange.json <<'PYEOF'
-import json, sys
-cells = json.load(open(sys.argv[1]))
-assert isinstance(cells, list) and cells, "empty or malformed JSON"
-for c in cells:
-    for k in ("type", "nranks", "path", "phase", "n_per_rank",
-              "seconds_median", "speedup_vs_packed", "algo", "k"):
-        assert k in c, f"missing field {k}: {c}"
-    assert c["path"] in ("packed", "pull"), c
-    assert c["phase"] in ("exchange", "exchange+merge"), c
-    assert c["algo"] in ("alltoallv", "kary"), c
-    assert c["seconds_median"] > 0.0, c
-    if c["algo"] == "kary":
-        assert c["k"] >= 2 and c["phase"] == "exchange+merge", c
-        assert c["rounds"], f"kary cell missing per-round breakdown: {c}"
-        for r in c["rounds"]:
-            assert r["exchange_s"] >= 0.0 and r["merge_s"] >= 0.0, c
-    else:
-        assert c["k"] == 0 and "rounds" not in c, c
-target = [c for c in cells
-          if c["type"] == "u64" and c["nranks"] == 16 and
-             c["path"] == "pull" and c["phase"] == "exchange" and
-             c["algo"] == "alltoallv"]
-assert target, "no u64 P=16 pull exchange cell"
-speedup = target[0]["speedup_vs_packed"]
-assert speedup >= 1.3, \
-    f"pull path only {speedup:.2f}x vs packed on u64 P=16 exchange (< 1.3x)"
-print(f"perf gate OK: pull {speedup:.2f}x faster than packed "
-      "(u64, P=16, exchange superstep)")
-kary = [c for c in cells
-        if c["algo"] == "kary" and c["type"] == "u64" and c["nranks"] == 16]
-assert kary, "no u64 P=16 kary cells"
-best = max(kary, key=lambda c: c["speedup_vs_packed"])
-assert best["speedup_vs_packed"] >= 1.3, \
-    (f"best k-ary (k={best['k']}) only {best['speedup_vs_packed']:.2f}x vs "
-     "packed alltoallv on u64 P=16 exchange+merge (< 1.3x)")
-print(f"perf gate OK: k-ary k={best['k']} "
-      f"{best['speedup_vs_packed']:.2f}x faster than packed alltoallv "
-      "(u64, P=16, exchange+merge supersteps)")
-PYEOF
+  ./bench/bench_exchange --reps=7 \
+    --out=BENCH_exchange.json --ledger=LEDGER_exchange.json)
+python3 tools/validate_bench.py exchange \
+  build-ci-relwithdebinfo/BENCH_exchange.json
 
 # Trace smoke: a traced quickstart run must produce Chrome trace JSON whose
 # per-rank slice durations reconcile exactly (<= 1e-9 relative) with the
@@ -201,37 +151,28 @@ done
 # superstep (DESIGN.md sec. 12 — the point of checkpointing at all).
 echo "=== recovery gate: bench_recovery ==="
 (cd build-ci-relwithdebinfo &&
-  ./bench/bench_recovery --out=BENCH_recovery.json)
-python3 - build-ci-relwithdebinfo/BENCH_recovery.json <<'PYEOF'
-import json, sys
-cells = json.load(open(sys.argv[1]))
-assert isinstance(cells, list) and cells, "empty or malformed JSON"
-for c in cells:
-    for k in ("kind", "nranks", "crash", "mode", "n_per_rank",
-              "sim_seconds", "vs_restart", "overhead_frac",
-              "recomputed_fraction", "recover_s", "attempts",
-              "checkpoint_bytes"):
-        assert k in c, f"missing field {k}: {c}"
-    assert c["kind"] in ("overhead", "crash"), c
-    assert c["sim_seconds"] > 0.0, c
-ovh = [c for c in cells
-       if c["kind"] == "overhead" and c["mode"] == "checkpointed"]
-assert len(ovh) == 3, "expected overhead cells at P in {4, 8, 16}"
-for c in ovh:
-    assert c["overhead_frac"] <= 0.10, (
-        f"checkpoint overhead {c['overhead_frac']:.1%} > 10% "
-        f"at P={c['nranks']}")
-for crash in ("exchange-begin", "exchange-end"):
-    resume = [c for c in cells if c["kind"] == "crash"
-              and c["crash"] == crash and c["mode"] == "ResumeCheckpoint"]
-    assert resume, f"no ResumeCheckpoint cell for {crash}"
-    assert resume[0]["vs_restart"] > 1.0, (
-        f"resume did not beat restart at {crash}: "
-        f"{resume[0]['vs_restart']:.2f}x")
-    assert resume[0]["recomputed_fraction"] < 1.0, resume[0]
-print("recovery gate OK: overhead <= 10% at P in {4,8,16}, resume beats "
-      "restart at/after the exchange superstep")
-PYEOF
+  ./bench/bench_recovery --out=BENCH_recovery.json \
+    --ledger=LEDGER_recovery.json)
+python3 tools/validate_bench.py recovery \
+  build-ci-relwithdebinfo/BENCH_recovery.json
+
+# Perf history: validate the run ledgers the benches above emitted, then
+# compare their scalar cells against the committed BENCH_history.jsonl
+# baseline. Deterministic simulated-time cells (sim_*) gate at 10%;
+# wall-clock cells (wall_*) warn only — they vary with host load. To
+# accept an intentional change, re-baseline with
+#   python3 tools/perf_history.py distill --history BENCH_history.jsonl \
+#     --commit "$(git rev-parse --short HEAD)" <ledgers...>
+# and commit the appended records (append-only: history is never rewritten).
+echo "=== perf history: ledgers vs BENCH_history.jsonl ==="
+python3 tools/validate_bench.py ledger \
+  build-ci-relwithdebinfo/LEDGER_local_sort.json \
+  build-ci-relwithdebinfo/LEDGER_exchange.json \
+  build-ci-relwithdebinfo/LEDGER_recovery.json
+python3 tools/perf_history.py check --history BENCH_history.jsonl \
+  build-ci-relwithdebinfo/LEDGER_local_sort.json \
+  build-ci-relwithdebinfo/LEDGER_exchange.json \
+  build-ci-relwithdebinfo/LEDGER_recovery.json
 
 # TSan wants debug info and no aggressive inlining to produce usable
 # reports; RelWithDebInfo (-O2 -g) is the supported sweet spot. Benchmarks

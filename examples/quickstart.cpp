@@ -8,14 +8,18 @@
 // keeps its original element count (perfect partitioning).
 //
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
-//               [--trace=trace.json] [--check] [--path=pull|packed]
-//               [--exchange-k=4]
+//               [--trace=trace.json] [--ledger=ledger.json] [--check]
+//               [--path=pull|packed] [--exchange-k=4]
 //               [--fault=crash] [--fault-rank=1] [--fault-op=20]
 //               [--fault-seed=7] [--straggle=0.5] [--drop=0.05]
 //               [--recovery=restart|resume|shrink]
 //
 // --check runs under the hds::check happens-before race checker and exits
 // non-zero if the sort produced any PGAS consistency violation.
+// --ledger writes the versioned run ledger (DESIGN.md sec. 14): machine and
+// sort config, per-phase and per-op-class time, and the fitted cost-model
+// constants — and prints the differential-profiler attribution table
+// showing where the cost model disagrees with the traced run.
 // --path selects the exchange data path (DESIGN.md sec. 11): "pull" is the
 // default single-copy alltoallv_into path, "packed" the legacy arena-staged
 // collective; results and simulated time are identical either way.
@@ -36,6 +40,8 @@
 
 #include "check/race_detector.h"
 #include "core/histogram_sort.h"
+#include "obs/features.h"
+#include "obs/ledger.h"
 #include "obs/report.h"
 #include "runtime/fault.h"
 #include "runtime/team.h"
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   usize keys_per_rank = 100000;
   double epsilon = 0.0;
   std::string trace_path;
+  std::string ledger_path;
   bool check = false;
   core::DataPath path = core::DataPath::Pull;
   int exchange_k = 0;  // 0 = alltoallv (the default exchange)
@@ -64,6 +71,7 @@ int main(int argc, char** argv) {
       keys_per_rank = std::stoul(arg.substr(16));
     if (arg.rfind("--epsilon=", 0) == 0) epsilon = std::stod(arg.substr(10));
     if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+    if (arg.rfind("--ledger=", 0) == 0) ledger_path = arg.substr(9);
     if (arg == "--check") check = true;
     if (arg.rfind("--path=", 0) == 0) {
       const std::string v = arg.substr(7);
@@ -122,7 +130,9 @@ int main(int argc, char** argv) {
     if (drop_p > 0.0) plan->drop_messages_with_probability(drop_p);
   }
 
-  runtime::TeamConfig tcfg{.nranks = ranks, .trace = !trace_path.empty()};
+  runtime::TeamConfig tcfg{
+      .nranks = ranks,
+      .trace = !trace_path.empty() || !ledger_path.empty()};
   tcfg.check.enabled = check;
   tcfg.fault = plan;
   if (faulty) tcfg.watchdog_timeout_s = 10.0;
@@ -228,11 +238,29 @@ int main(int argc, char** argv) {
   std::cout << "simulated makespan: " << team.stats().makespan_s << " s\n";
 
   if (const obs::TraceReport* trace = team.trace()) {
-    std::ofstream out(trace_path);
-    trace->write_chrome_json(out);
-    std::cout << "wrote Chrome trace (" << trace->total_events()
-              << " events) to " << trace_path << "\n"
-              << trace->comm_matrix().summary() << "\n";
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      trace->write_chrome_json(out);
+      std::cout << "wrote Chrome trace (" << trace->total_events()
+                << " events) to " << trace_path << "\n"
+                << trace->comm_matrix().summary() << "\n";
+    }
+    if (!ledger_path.empty()) {
+      obs::RunLedger led = obs::RunLedger::from_trace(*trace, team.cost());
+      led.bench = "quickstart";
+      led.total_elements =
+          static_cast<u64>(ranks) * static_cast<u64>(keys_per_rank);
+      led.config = {{"epsilon", std::to_string(epsilon)},
+                    {"path", path == core::DataPath::Pull ? "pull" : "packed"},
+                    {"exchange_k", std::to_string(exchange_k)}};
+      led.scalars = {{"sim_makespan_s", team.stats().makespan_s}};
+      obs::attach_features(led, team.cost());
+      std::ofstream out(ledger_path);
+      led.write_json(out);
+      std::cout << "wrote run ledger (" << led.samples.size()
+                << " op samples) to " << ledger_path << "\n"
+                << obs::attribution_table(led);
+    }
   }
 
   if (const check::CheckReport* rep = team.check_report()) {

@@ -179,6 +179,58 @@ double CostModel::p2p(rank_t src_world, rank_t dst_world, usize bytes,
          m / machine_.p2p_bandwidth(src_world, dst_world);
 }
 
+namespace {
+/// Secant linearization of a cost formula f(bytes): alpha from f(0), the
+/// per-byte slope from the chord to f(64 KiB). The formulas themselves are
+/// piecewise linear in bytes (min over algorithm variants), so the chord is
+/// exact within one regime and a fair blend across the small/large switch.
+constexpr usize kProbeBytes = 64 * 1024;
+
+template <class F>
+OpCost secant(F&& f) {
+  OpCost c;
+  c.alpha_s = f(usize{0});
+  c.per_byte_s =
+      (f(kProbeBytes) - c.alpha_s) / static_cast<double>(kProbeBytes);
+  return c;
+}
+}  // namespace
+
+OpCost CostModel::probe_sync(int P, int nodes_spanned) const {
+  return OpCost{barrier(P, nodes_spanned), 0.0};
+}
+
+OpCost CostModel::probe_tree(int P, int nodes_spanned, Traffic t) const {
+  return secant([&](usize b) { return broadcast(P, nodes_spanned, b, t); });
+}
+
+OpCost CostModel::probe_gather(int P, int nodes_spanned, Traffic t) const {
+  return secant([&](usize b) { return allgather(P, nodes_spanned, b, t); });
+}
+
+OpCost CostModel::probe_alltoall(std::span<const rank_t> members,
+                                 Traffic t) const {
+  const int P = static_cast<int>(members.size());
+  if (P <= 1) return OpCost{};
+  // Uniform matrix: every rank splits a total of `b` send bytes evenly over
+  // the other P-1 members, so the surrogate's byte axis matches the
+  // per-rank total-send bytes the tracer records for Alltoall(v) events.
+  return secant([&](usize b) {
+    const usize per_pair = b / static_cast<usize>(P - 1);
+    std::vector<usize> matrix(static_cast<usize>(P) * P, 0);
+    for (int src = 0; src < P; ++src)
+      for (int dst = 0; dst < P; ++dst)
+        if (src != dst)
+          matrix[static_cast<usize>(src) * P + dst] = per_pair;
+    return alltoallv(members, matrix, t);
+  });
+}
+
+OpCost CostModel::probe_p2p(rank_t src_world, rank_t dst_world,
+                            Traffic t) const {
+  return secant([&](usize b) { return p2p(src_world, dst_world, b, t); });
+}
+
 double CostModel::checkpoint(rank_t src_world, rank_t buddy_world, usize bytes,
                              Traffic t) const {
   return machine_.checkpoint_overlap_residue *

@@ -24,6 +24,17 @@ namespace hds::net {
 /// control data such as histograms and splitters.
 enum class Traffic : u8 { Control, Data };
 
+/// Linear surrogate of a cost formula: seconds ≈ alpha_s + per_byte_s * B,
+/// where B is the payload-byte measure the tracer records for the op class
+/// (this rank's contributed bytes). The differential profiler fits the same
+/// two constants from measured slices, so surrogate and fit are directly
+/// comparable per class.
+struct OpCost {
+  double alpha_s = 0.0;
+  double per_byte_s = 0.0;
+  double at(double bytes) const { return alpha_s + per_byte_s * bytes; }
+};
+
 class CostModel {
  public:
   CostModel() = default;
@@ -65,6 +76,24 @@ class CostModel {
 
   /// Point-to-point message.
   double p2p(rank_t src_world, rank_t dst_world, usize bytes, Traffic t) const;
+
+  // --- introspection (PR 8) -------------------------------------------------
+  // Linearized per-op-class cost surrogates: the full formulas above,
+  // sampled at B = 0 and B = 64 KiB per rank (secant). These are the model
+  // side of the differential profiler — what the run ledger's least-squares
+  // fit of measured slices is compared against, class by class.
+
+  /// Sync class (Barrier): latency only, per_byte_s is 0.
+  OpCost probe_sync(int P, int nodes_spanned) const;
+  /// Tree class (Broadcast / Allreduce / Scan / Split), B = payload bytes.
+  OpCost probe_tree(int P, int nodes_spanned, Traffic t) const;
+  /// Gather class (Allgather(v) / Gatherv), B = one rank's contribution.
+  OpCost probe_gather(int P, int nodes_spanned, Traffic t) const;
+  /// Alltoall class, B = one rank's total send volume, spread uniformly
+  /// over the other members of `members`.
+  OpCost probe_alltoall(std::span<const rank_t> members, Traffic t) const;
+  /// Send class, B = message payload bytes.
+  OpCost probe_p2p(rank_t src_world, rank_t dst_world, Traffic t) const;
 
   // --- failure recovery (PR 6) ---------------------------------------------
   /// Critical-path cost of shipping a `bytes` checkpoint to the buddy rank.

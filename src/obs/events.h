@@ -47,6 +47,68 @@ enum class OpKind : u32 {
   Checkpoint,
 };
 
+/// Cost-model class of an op: which analytic formula family the runtime
+/// charged for it. The differential profiler fits one (alpha, beta) pair per
+/// class, so ops that share a class must share a cost shape. Send and Recv
+/// are distinct on purpose: a Recv's charged cost is always 0 (it is a pure
+/// wait for the sender's arrival time) and folding it into Send would
+/// corrupt the fit. Values are frozen once released (ledgers persist them).
+enum class OpClass : u32 {
+  None = 0,   ///< untagged / unknown (lint-rejected in Comm op bodies)
+  Sync,       ///< zero-payload rendezvous (Barrier)
+  Tree,       ///< log-P tree collectives (Broadcast, Allreduce, Scan, Split)
+  Gather,     ///< allgather-shaped collectives (Allgather(v), Gatherv)
+  Alltoall,   ///< dense P×P exchanges (Alltoall, Alltoallv and pull variant)
+  Send,       ///< charged point-to-point send (payload or header)
+  Recv,       ///< point-to-point receive wait (charged cost is always 0)
+  Recovery,   ///< failure detection + survivor agreement (Agree)
+  Checkpoint, ///< buddy checkpoint store/fetch
+  Compute,    ///< tracer-only local computation slices
+};
+inline constexpr u32 kOpClassCount = 10;
+
+constexpr std::string_view op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::None: return "none";
+    case OpClass::Sync: return "sync";
+    case OpClass::Tree: return "tree";
+    case OpClass::Gather: return "gather";
+    case OpClass::Alltoall: return "alltoall";
+    case OpClass::Send: return "send";
+    case OpClass::Recv: return "recv";
+    case OpClass::Recovery: return "recovery";
+    case OpClass::Checkpoint: return "checkpoint";
+    case OpClass::Compute: return "compute";
+  }
+  return "?";
+}
+
+/// Canonical OpKind → OpClass mapping. The runtime tags every note_op call
+/// explicitly (lint-enforced); this mapping exists so reports and tests can
+/// cross-check the tags against the vocabulary.
+constexpr OpClass op_class_of(OpKind op) {
+  switch (op) {
+    case OpKind::None: return OpClass::None;
+    case OpKind::Barrier: return OpClass::Sync;
+    case OpKind::Broadcast:
+    case OpKind::Allreduce:
+    case OpKind::Exscan:
+    case OpKind::Scan:
+    case OpKind::Split: return OpClass::Tree;
+    case OpKind::Allgather:
+    case OpKind::Allgatherv:
+    case OpKind::Gatherv: return OpClass::Gather;
+    case OpKind::Alltoall:
+    case OpKind::Alltoallv: return OpClass::Alltoall;
+    case OpKind::Send: return OpClass::Send;
+    case OpKind::Recv: return OpClass::Recv;
+    case OpKind::Compute: return OpClass::Compute;
+    case OpKind::Agree: return OpClass::Recovery;
+    case OpKind::Checkpoint: return OpClass::Checkpoint;
+  }
+  return OpClass::None;
+}
+
 constexpr std::string_view op_kind_name(OpKind op) {
   switch (op) {
     case OpKind::None: return "none";
@@ -77,10 +139,15 @@ constexpr std::string_view op_kind_name(OpKind op) {
 /// reconcile with SimClock::phase_seconds.
 struct TraceEvent {
   OpKind op = OpKind::None;
+  OpClass cls = OpClass::None;
   net::Phase phase = net::Phase::Other;
   net::Traffic traffic = net::Traffic::Control;
   double t0 = 0.0;  ///< virtual start (seconds)
   double t1 = 0.0;  ///< virtual end (seconds)
+  /// Cost the model charged this rank for the op itself, excluding the wait
+  /// for the collective's common exit (so model_s <= t1 - t0 always; the
+  /// difference is synchronization skew). 0 for Recv and uncharged sends.
+  double model_s = 0.0;
   u64 bytes = 0;    ///< payload bytes this rank contributed (received, for Recv)
   u64 tag = 0;      ///< P2P tag (Send/Recv only)
   i32 peer = -1;    ///< world rank of root/partner, -1 if none

@@ -40,8 +40,6 @@ double CommMatrix::max_over_mean() const {
 
 double CommMatrix::gini() const {
   if (nranks == 0) return 0.0;
-  const double mean = mean_row();
-  if (mean <= 0.0) return 0.0;
   // G = sum_ij |x_i - x_j| / (2 n^2 mu), computed from the sorted rows as
   // G = (2 sum_i (i+1) x_(i) / (n sum x)) - (n+1)/n.
   std::vector<double> rows(static_cast<usize>(nranks));
@@ -53,6 +51,9 @@ double CommMatrix::gini() const {
     weighted += static_cast<double>(i + 1) * rows[i];
     sum += rows[i];
   }
+  // All off-diagonal row sums zero (an empty or purely local run): nothing
+  // is imbalanced, and the closed form above would divide by zero.
+  if (sum <= 0.0) return 0.0;
   const double n = static_cast<double>(nranks);
   return 2.0 * weighted / (n * sum) - (n + 1.0) / n;
 }
@@ -98,7 +99,13 @@ CommMatrix TraceReport::comm_matrix(bool data_only) const {
   CommMatrix m;
   m.nranks = nranks;
   m.bytes.assign(static_cast<usize>(nranks) * nranks, 0);
-  for (int src = 0; src < nranks; ++src) {
+  // A run with tracing enabled but zero recorded ops (or a partially built
+  // report) may carry fewer per-rank vectors than nranks; missing ranks
+  // simply contribute nothing.
+  const int have =
+      std::min(nranks, static_cast<int>(std::min(events.size(),
+                                                 details.size())));
+  for (int src = 0; src < have; ++src) {
     const auto& det = details[static_cast<usize>(src)];
     for (const TraceEvent& e : events[static_cast<usize>(src)]) {
       if (data_only && e.traffic != net::Traffic::Data) continue;
@@ -143,7 +150,10 @@ void TraceReport::write_chrome_json(std::ostream& os) const {
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
        << ",\"args\":{\"name\":\"rank " << r << "\"}}";
   }
-  for (int r = 0; r < nranks; ++r) {
+  // Guard every per-rank array: a trace-enabled run that recorded nothing
+  // (or a hand-built report) must still serialize as valid JSON with empty
+  // slice arrays and zeroed sums, never index past the vectors it has.
+  for (int r = 0; r < nranks && static_cast<usize>(r) < events.size(); ++r) {
     for (const TraceEvent& e : events[static_cast<usize>(r)]) {
       sep();
       os << "{\"name\":\"" << op_kind_name(e.op) << "\",\"cat\":\""
@@ -170,9 +180,10 @@ void TraceReport::write_chrome_json(std::ostream& os) const {
   for (int r = 0; r < nranks; ++r) {
     if (r > 0) os << ",";
     os << "[";
+    const bool have_clock = static_cast<usize>(r) < clock_phase_s.size();
     for (usize p = 0; p < net::kPhaseCount; ++p) {
       if (p > 0) os << ",";
-      put(os, clock_phase_s[static_cast<usize>(r)][p]);
+      put(os, have_clock ? clock_phase_s[static_cast<usize>(r)][p] : 0.0);
     }
     os << "]";
   }
@@ -182,7 +193,9 @@ void TraceReport::write_chrome_json(std::ostream& os) const {
     os << "\"" << counter_name(static_cast<Counter>(c)) << "\":[";
     for (int r = 0; r < nranks; ++r) {
       if (r > 0) os << ",";
-      os << metrics[static_cast<usize>(r)].value(static_cast<Counter>(c));
+      os << (static_cast<usize>(r) < metrics.size()
+                 ? metrics[static_cast<usize>(r)].value(static_cast<Counter>(c))
+                 : u64{0});
     }
     os << "]";
   }

@@ -44,8 +44,8 @@ class RankTracer final : public net::AdvanceSink {
   /// ring; opens a trace event only when tracing is enabled. Advances
   /// between op_begin and op_end (fault stragglers, collective sync,
   /// message-arrival waits) are folded into the op's [t0, t1] span.
-  void op_begin(OpKind op, net::Phase phase, double t, u64 bytes, i32 peer,
-                u64 tag, net::Traffic traffic) {
+  void op_begin(OpKind op, OpClass cls, net::Phase phase, double t, u64 bytes,
+                i32 peer, u64 tag, net::Traffic traffic) {
     if (!ring_.empty()) {
       std::lock_guard lock(ring_mu_);
       ring_[ring_seq_ % ring_.size()] =
@@ -55,9 +55,11 @@ class RankTracer final : public net::AdvanceSink {
     if (!enabled_) return;
     flush_compute();
     if (pending_open_) events_.push_back(pending_);  // defensive: unclosed op
-    pending_ = TraceEvent{op,    phase, traffic,
-                          t,     t,     bytes,
-                          tag,   peer,  static_cast<u32>(details_.size() / 2),
+    pending_ = TraceEvent{op,   cls,   phase,
+                          traffic,
+                          t,    t,     0.0,
+                          bytes,
+                          tag,  peer,  static_cast<u32>(details_.size() / 2),
                           0};
     pending_open_ = true;
   }
@@ -78,6 +80,15 @@ class RankTracer final : public net::AdvanceSink {
     pending_.bytes = bytes;
   }
 
+  /// Record the model cost charged for the op in flight (the epoch's
+  /// root-computed cost for collectives, the p2p charge for sends). Kept
+  /// separate from [t0, t1] so the differential profiler can split "what the
+  /// model charged" from "what the rank waited".
+  void op_model(double model_s) {
+    if (!enabled_ || !pending_open_) return;
+    pending_.model_s = model_s;
+  }
+
   void op_end(double t) {
     if (!enabled_ || !pending_open_) return;
     pending_.t1 = t;
@@ -94,8 +105,10 @@ class RankTracer final : public net::AdvanceSink {
       return;
     }
     flush_compute();
-    compute_ = TraceEvent{OpKind::Compute, p, net::Traffic::Control,
-                          t0,              t1, 0,
+    compute_ = TraceEvent{OpKind::Compute, OpClass::Compute, p,
+                          net::Traffic::Control,
+                          t0,              t1, 0.0,
+                          0,
                           0,               -1, 0,
                           0};
     compute_open_ = true;

@@ -134,9 +134,15 @@ class Comm {
   }
   /// K-way merge overlapped with `window_s` seconds of in-flight exchange
   /// copies (the k-ary schedule's round pipeline): only the non-hidden
-  /// residue of the merge lands on this rank's clock.
+  /// residue of the merge lands on this rank's clock. Both the full
+  /// (un-overlapped) cost and the charged residue are surfaced as series so
+  /// the run ledger can report realized vs charged overlap.
   void charge_overlapped_merge(usize n, usize k, double window_s) {
-    clock().advance(cost().overlapped_merge(n, k, window_s));
+    const double full = cost().kway_heap_merge(n, k);
+    const double charged = cost().overlapped_merge(n, k, window_s);
+    metrics().append(obs::Series::OverlapMergeFull, full);
+    metrics().append(obs::Series::OverlapMergeCharged, charged);
+    clock().advance(charged);
   }
   void charge_partition(usize n) { clock().advance(cost().partition(n)); }
   void charge_scan(usize n) { clock().advance(cost().linear_scan(n)); }
@@ -162,8 +168,8 @@ class Comm {
   // --- collectives ------------------------------------------------------------
 
   void barrier() {
-    auto& ep = collective(detail::OpId::Barrier, nullptr, 0, nullptr,
-                          [&](detail::EpochArena& a) {
+    auto& ep = collective(detail::OpId::Barrier, obs::OpClass::Sync, nullptr,
+                          0, nullptr, [&](detail::EpochArena& a) {
                             zero_out(a);
                             return cost().barrier(size(), nodes());
                           });
@@ -176,7 +182,8 @@ class Comm {
     check_trivial<T>();
     const usize bytes = n * sizeof(T);
     auto& ep = collective(
-        detail::OpId::Broadcast, idx_ == root ? data : nullptr, bytes, nullptr,
+        detail::OpId::Broadcast, obs::OpClass::Tree,
+        idx_ == root ? data : nullptr, bytes, nullptr,
         [&](detail::EpochArena& a) {
           a.result.resize(bytes);
           const auto& src = a.slots[root];
@@ -204,7 +211,7 @@ class Comm {
     check_trivial<T>();
     const usize bytes = n * sizeof(T);
     auto& ep = collective(
-        detail::OpId::Allreduce, in, bytes, nullptr,
+        detail::OpId::Allreduce, obs::OpClass::Tree, in, bytes, nullptr,
         [&](detail::EpochArena& a) {
           a.result.resize(bytes);
           T* acc = reinterpret_cast<T*>(a.result.data());
@@ -236,7 +243,7 @@ class Comm {
     check_trivial<T>();
     const usize bytes = n * sizeof(T);
     auto& ep = collective(
-        detail::OpId::Allgather, in, bytes, nullptr,
+        detail::OpId::Allgather, obs::OpClass::Gather, in, bytes, nullptr,
         [&](detail::EpochArena& a) {
           a.result.resize(bytes * size());
           for (int r = 0; r < size(); ++r) {
@@ -261,7 +268,8 @@ class Comm {
                             std::vector<usize>* counts = nullptr) {
     check_trivial<T>();
     auto& ep = collective(
-        detail::OpId::Allgatherv, in.data(), in.size() * sizeof(T), nullptr,
+        detail::OpId::Allgatherv, obs::OpClass::Gather, in.data(),
+        in.size() * sizeof(T), nullptr,
         [&](detail::EpochArena& a) {
           usize total = 0;
           usize max_bytes = 0;
@@ -302,7 +310,8 @@ class Comm {
                          std::vector<usize>* counts = nullptr) {
     check_trivial<T>();
     auto& ep = collective(
-        detail::OpId::Gatherv, in.data(), in.size() * sizeof(T), nullptr,
+        detail::OpId::Gatherv, obs::OpClass::Gather, in.data(),
+        in.size() * sizeof(T), nullptr,
         [&](detail::EpochArena& a) {
           usize total = 0;
           for (int r = 0; r < size(); ++r) total += a.slots[r].bytes;
@@ -346,7 +355,7 @@ class Comm {
     const usize block = n * sizeof(T);
     const usize bytes = block * size();
     auto& ep = collective(
-        detail::OpId::Alltoall, in, bytes, nullptr,
+        detail::OpId::Alltoall, obs::OpClass::Alltoall, in, bytes, nullptr,
         [&](detail::EpochArena& a) {
           a.result.resize(bytes * size());
           for (int src = 0; src < size(); ++src) {
@@ -392,8 +401,9 @@ class Comm {
                       << ") != data size (" << data.size() << ")");
 
     auto& ep = collective(
-        detail::OpId::Alltoallv, data.data(), data.size() * sizeof(T),
-        send_counts.data(), [&](detail::EpochArena& a) {
+        detail::OpId::Alltoallv, obs::OpClass::Alltoall, data.data(),
+        data.size() * sizeof(T), send_counts.data(),
+        [&](detail::EpochArena& a) {
           const int P = size();
           // Receive layout: out[dst] = concat over src of block(src -> dst).
           // scratch_a doubles as recv_bytes here and as the pack cursor
@@ -538,9 +548,11 @@ class Comm {
             net::Traffic traffic = net::Traffic::Data) {
     check_trivial<T>();
     const rank_t dw = world_rank_of(dst);
-    note_op(detail::OpId::Send, data.size() * sizeof(T), dw, tag, traffic);
+    note_op(detail::OpId::Send, obs::OpClass::Send, data.size() * sizeof(T),
+            dw, tag, traffic);
     const double dt =
         cost().p2p(world_rank(), dw, data.size() * sizeof(T), traffic);
+    tracer().op_model(dt);
     clock().advance(dt);  // synchronous send: sender busy for the transfer
     deliver(dw, tag, data);
     tracer().op_end(clock().now());
@@ -554,8 +566,8 @@ class Comm {
   void send_uncharged(int dst, u64 tag, std::span<const T> data) {
     check_trivial<T>();
     const rank_t dw = world_rank_of(dst);
-    note_op(detail::OpId::Send, data.size() * sizeof(T), dw, tag,
-            net::Traffic::Control);
+    note_op(detail::OpId::Send, obs::OpClass::Send, data.size() * sizeof(T),
+            dw, tag, net::Traffic::Control);
     deliver(dw, tag, data);
     tracer().op_end(clock().now());
   }
@@ -584,9 +596,11 @@ class Comm {
       net::Traffic traffic = net::Traffic::Data) {
     check_trivial<T>();
     const rank_t dw = world_rank_of(dst);
-    note_op(detail::OpId::Send, data.size() * sizeof(T), dw, tag, traffic);
+    note_op(detail::OpId::Send, obs::OpClass::Send, data.size() * sizeof(T),
+            dw, tag, traffic);
     const double dt =
         cost().p2p(world_rank(), dw, data.size() * sizeof(T), traffic);
+    tracer().op_model(dt);
     clock().advance(dt);  // synchronous send: sender busy for the transfer
     auto state = std::make_shared<BorrowState>();
     deliver_borrowed(dw, tag, std::as_bytes(data), state);
@@ -638,13 +652,15 @@ class Comm {
   /// team_aborted if the run is beyond recovery (a non-failure error was
   /// recorded, or a rank returned without joining the rendezvous).
   Comm recover_survivors() {
-    note_op(detail::OpId::Agree);
+    note_op(detail::OpId::Agree, obs::OpClass::Recovery);
     const double t0 = clock().now();
     Team::RecoveryOutcome out;
     {
       detail::SiteScope site(progress(), detail::WaitSite::Recovery);
       out = team_->recover(world_rank());
     }
+    tracer().op_model(
+        cost().detect_and_agree(static_cast<int>(out.state->members.size())));
     clock().sync_to(std::max(clock().now(), out.sync_time));
     metrics().add(obs::Counter::RecoveryCount, 1);
     // Time-to-recover, per survivor: from this rank noticing the failure
@@ -666,10 +682,11 @@ class Comm {
                            std::vector<std::byte> bytes) {
     const rank_t bw = world_rank_of((idx_ + 1) % size());
     const u64 n = bytes.size();
-    note_op(detail::OpId::Checkpoint, n, bw, /*tag=*/superstep,
-            net::Traffic::Data);
-    clock().advance(
-        cost().checkpoint(world_rank(), bw, n, net::Traffic::Data));
+    note_op(detail::OpId::Checkpoint, obs::OpClass::Checkpoint, n, bw,
+            /*tag=*/superstep, net::Traffic::Data);
+    const double dt = cost().checkpoint(world_rank(), bw, n, net::Traffic::Data);
+    tracer().op_model(dt);
+    clock().advance(dt);
     metrics().add(obs::Counter::CheckpointBytes, n);
     metrics().add(obs::Counter::CheckpointCount, 1);
     store.save(world_rank(), bw, superstep, std::move(bytes));
@@ -686,11 +703,14 @@ class Comm {
     auto blob = store.load(owner_world, step);
     if (!blob) return blob;
     const u64 n = blob->bytes.size();
-    note_op(detail::OpId::Checkpoint, n, blob->holder, /*tag=*/step,
-            net::Traffic::Data);
-    if (blob->holder != world_rank())
-      clock().advance(
-          cost().p2p(blob->holder, world_rank(), n, net::Traffic::Data));
+    note_op(detail::OpId::Checkpoint, obs::OpClass::Checkpoint, n,
+            blob->holder, /*tag=*/step, net::Traffic::Data);
+    if (blob->holder != world_rank()) {
+      const double dt =
+          cost().p2p(blob->holder, world_rank(), n, net::Traffic::Data);
+      tracer().op_model(dt);
+      clock().advance(dt);
+    }
     tracer().op_end(clock().now());
     return blob;
   }
@@ -759,7 +779,7 @@ class Comm {
   template <class PlaceFn>
   usize recv_bytes_into(int src, u64 tag, PlaceFn&& place) {
     const rank_t sw = world_rank_of(src);
-    note_op(detail::OpId::Recv, 0, sw, tag);
+    note_op(detail::OpId::Recv, obs::OpClass::Recv, 0, sw, tag);
     Message msg;
     {
       detail::SiteScope site(progress(), detail::WaitSite::MailboxRecv,
@@ -810,14 +830,14 @@ class Comm {
   /// which may crash this rank (rank_failed) or straggle its SimClock.
   /// The tracer opens before the fault hook so an injected straggler delay
   /// is attributed to the op it stalls.
-  void note_op(detail::OpId op, u64 bytes = 0, i32 peer = -1, u64 tag = 0,
-               net::Traffic traffic = net::Traffic::Control) {
+  void note_op(detail::OpId op, obs::OpClass cls, u64 bytes = 0, i32 peer = -1,
+               u64 tag = 0, net::Traffic traffic = net::Traffic::Control) {
     auto& ps = progress();
     ps.last_op.store(static_cast<u32>(op), std::memory_order_relaxed);
     ps.sim_clock.store(clock().now(), std::memory_order_relaxed);
     ps.ops.fetch_add(1, std::memory_order_relaxed);
-    tracer().op_begin(op, clock().phase(), clock().now(), bytes, peer, tag,
-                      traffic);
+    tracer().op_begin(op, cls, clock().phase(), clock().now(), bytes, peer,
+                      tag, traffic);
     if (FaultPlan* fp = team_->fault_plan()) {
       try {
         fp->on_op(world_rank(), static_cast<u32>(op), clock());
@@ -861,12 +881,13 @@ class Comm {
   /// `pub_flags` is published in this member's slot for op-specific
   /// executor decisions (kSlotWantsCounts).
   template <class RootFn>
-  detail::EpochArena& collective(detail::OpId op, const void* in, usize bytes,
+  detail::EpochArena& collective(detail::OpId op, obs::OpClass cls,
+                                 const void* in, usize bytes,
                                  const usize* counts, RootFn&& root_fn,
                                  i32 peer = -1,
                                  net::Traffic traffic = net::Traffic::Control,
                                  int hb_root = -1, u32 pub_flags = 0) {
-    note_op(op, bytes, peer, /*tag=*/0, traffic);
+    note_op(op, cls, bytes, peer, /*tag=*/0, traffic);
     auto& ep = state_->epochs[round_++ & 1u];
     auto& slot = ep.slots[idx_];
     slot.in = in;
@@ -887,7 +908,8 @@ class Comm {
         rd->on_collective(state_, op, state_->members, hb_root);
       double entry = 0.0;
       for (const auto& s : ep.slots) entry = std::max(entry, s.clock);
-      ep.sync_time = entry + root_fn(ep);
+      ep.model_cost = root_fn(ep);
+      ep.sync_time = entry + ep.model_cost;
     }
     {
       detail::SiteScope site(progress(), detail::WaitSite::Barrier);
@@ -908,11 +930,12 @@ class Comm {
   /// aborts the team right after). ep.sync_time is only read after barrier
   /// #2 (in finish()), so the root's write does not race with member pulls.
   template <class RootFn, class MemberFn>
-  detail::EpochArena& collective_pull(detail::OpId op, const void* in,
-                                      usize bytes, const usize* counts,
-                                      RootFn&& root_fn, MemberFn&& member_fn,
+  detail::EpochArena& collective_pull(detail::OpId op, obs::OpClass cls,
+                                      const void* in, usize bytes,
+                                      const usize* counts, RootFn&& root_fn,
+                                      MemberFn&& member_fn,
                                       net::Traffic traffic) {
-    note_op(op, bytes, /*peer=*/-1, /*tag=*/0, traffic);
+    note_op(op, cls, bytes, /*peer=*/-1, /*tag=*/0, traffic);
     auto& ep = state_->epochs[round_++ & 1u];
     auto& slot = ep.slots[idx_];
     slot.in = in;
@@ -931,7 +954,8 @@ class Comm {
         rd->on_collective(state_, op, state_->members, /*hb_root=*/-1);
       double entry = 0.0;
       for (const auto& s : ep.slots) entry = std::max(entry, s.clock);
-      ep.sync_time = entry + root_fn(ep);
+      ep.model_cost = root_fn(ep);
+      ep.sync_time = entry + ep.model_cost;
     }
     try {
       member_fn(ep);
@@ -973,8 +997,8 @@ class Comm {
                       << ") != data size (" << data.size() << ")");
 
     auto& ep = collective_pull(
-        detail::OpId::Alltoallv, data.data(), data.size() * sizeof(T),
-        send_counts.data(),
+        detail::OpId::Alltoallv, obs::OpClass::Alltoall, data.data(),
+        data.size() * sizeof(T), send_counts.data(),
         [&](detail::EpochArena& a) {
           // Executor: cost only — the payload moves via member pulls.
           const int P = size();
@@ -1022,8 +1046,11 @@ class Comm {
   }
 
   /// Common epilogue: fast-forward the clock to the collective exit time
-  /// and close the op's trace event at it.
+  /// and close the op's trace event at it. ep.model_cost is safe to read
+  /// here for the same reason sync_time is: barrier #2 ordered the root's
+  /// write before every member's finish.
   void finish(detail::EpochArena& ep) {
+    tracer().op_model(ep.model_cost);
     clock().sync_to(ep.sync_time);
     tracer().op_end(clock().now());
   }
@@ -1032,8 +1059,9 @@ class Comm {
   T scan_impl(T v, Op op, T init, bool inclusive) {
     check_trivial<T>();
     auto& ep = collective(
-        inclusive ? detail::OpId::Scan : detail::OpId::Exscan, &v, sizeof(T),
-        nullptr, [&](detail::EpochArena& a) {
+        inclusive ? detail::OpId::Scan : detail::OpId::Exscan,
+        obs::OpClass::Tree, &v, sizeof(T), nullptr,
+        [&](detail::EpochArena& a) {
           a.result.resize(sizeof(T) * size());
           T* out = reinterpret_cast<T*>(a.result.data());
           T acc = init;

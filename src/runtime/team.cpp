@@ -486,7 +486,7 @@ Comm Comm::split(int color, int key) {
   };
   const CK my{color, key};
   auto& ep = collective(
-      detail::OpId::Split, &my, sizeof(CK), nullptr,
+      detail::OpId::Split, obs::OpClass::Tree, &my, sizeof(CK), nullptr,
       [&](detail::EpochArena& a) {
         const int P = size();
         struct Ent {

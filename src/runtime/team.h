@@ -150,6 +150,10 @@ struct EpochArena {
   std::vector<usize> scratch_a;
   std::vector<usize> scratch_b;
   double sync_time = 0.0;
+  /// Model cost the executor computed for this collective (sync_time =
+  /// latest entry + model_cost). Read by every member in Comm::finish under
+  /// the same barrier-2 ordering that makes sync_time safe to read.
+  double model_cost = 0.0;
 };
 
 /// Where a rank is blocked, for the watchdog's diagnostic dump.

@@ -110,7 +110,8 @@ TEST(TraceEvents, DisabledTracerNeverAllocatesEventStorage) {
   obs::RankTracer tracer(/*ring_capacity=*/16);
   tracer.set_enabled(false);
   for (int i = 0; i < 100; ++i) {
-    tracer.op_begin(obs::OpKind::Barrier, net::Phase::Other, i * 1.0,
+    tracer.op_begin(obs::OpKind::Barrier, obs::OpClass::Sync,
+                    net::Phase::Other, i * 1.0,
                     /*bytes=*/64, /*peer=*/-1, /*tag=*/0,
                     net::Traffic::Control);
     tracer.op_end(i * 1.0 + 0.5);

@@ -20,6 +20,12 @@ Rules (see DESIGN.md sec. 10):
   no-naked-new       No naked new/delete in src/ — ownership goes through
                      containers and smart pointers ("= delete" declarations
                      are fine).
+  comm-op-class      Every Comm op body must tag itself with an
+                     obs::OpClass (or delegate to a helper that does) —
+                     the class is what the run ledger's per-op-class
+                     attribution and the differential profiler key on; an
+                     untagged op would silently land in OpClass::None and
+                     corrupt the calibration fit.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -82,6 +88,17 @@ NOTE_OP_HOOKS = (
     "alltoallv_pull(",
     "alltoallv_pull<",
     "recv_bytes_into(",
+)
+
+# A body satisfies comm-op-class if it names the obs::OpClass it charges
+# under, or delegates to an internal helper that does (those helpers'
+# bodies name it themselves and are checked transitively).
+OP_CLASS_HOOKS = (
+    "OpClass::",
+    "alltoallv_pull(",
+    "alltoallv_pull<",
+    "recv_bytes_into(",
+    "scan_impl(",
 )
 
 
@@ -171,6 +188,14 @@ def check_comm_note_op(findings: list[str]) -> None:
                     "collective()/note_op() (or a delegating helper) — "
                     "invisible to the tracer, watchdog, fault injector and "
                     "race checker"
+                )
+            if not any(hook in body for hook in OP_CLASS_HOOKS):
+                findings.append(
+                    f"{path.relative_to(REPO)}:{line_of(text, m.start(1))}: "
+                    f"[comm-op-class] Comm::{method} carries no "
+                    "obs::OpClass tag (directly or via a delegating "
+                    "helper) — the op would land in OpClass::None and "
+                    "corrupt the ledger's attribution and calibration fit"
                 )
         if not found_def:
             findings.append(

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Perf-history regression harness over run-ledger scalar cells.
+
+The benches emit run ledgers (--ledger=FILE, schema hds-run-ledger); this
+tool distills each ledger's scalar cells into one compact append-only
+JSONL record and compares fresh runs against the committed baseline:
+
+    perf_history.py distill --history BENCH_history.jsonl \\
+        [--commit SHA] ledger.json [...]        # append baseline records
+    perf_history.py check   --history BENCH_history.jsonl \\
+        [--strict] [--tolerance 0.10] ledger.json [...]
+    perf_history.py show    --history BENCH_history.jsonl  # dump table
+
+Cell naming contract (see DESIGN.md sec. 14): scalars prefixed `sim_` are
+deterministic simulated-time quantities — identical on every machine for a
+given commit — and GATE the build when they regress by more than the
+tolerance (default 10%) against the newest baseline record for the same
+bench. Scalars prefixed `wall_` are wall-clock measurements; they vary
+with host load, so they only WARN unless --strict is given.
+
+Direction is inferred from the name: cells containing `speedup` or `vs_`
+are higher-is-better; everything else (seconds, fractions, overheads) is
+lower-is-better. Cells present only on one side are reported, never fatal
+— adding a new cell must not require rewriting history.
+
+Record schema (one JSON object per line):
+    {"schema":"hds-perf-history","version":1,"commit":...,
+     "bench":...,"nranks":...,"cells":{name:value,...}}
+
+Exit status: 0 OK, 1 regression (or malformed input), 2 usage error.
+No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "hds-perf-history"
+VERSION = 1
+
+
+def fail(msg: str) -> None:
+    print(f"perf_history: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_ledger(path: str) -> dict:
+    try:
+        with open(path) as f:
+            led = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if led.get("schema") != "hds-run-ledger":
+        fail(f"{path}: not a run ledger (schema {led.get('schema')!r})")
+    return led
+
+
+def distill(led: dict, commit: str) -> dict:
+    cells = {k: v for k, v in sorted(led["scalars"].items())
+             if k.startswith(("sim_", "wall_"))}
+    return {
+        "schema": SCHEMA,
+        "version": VERSION,
+        "commit": commit,
+        "bench": led["bench"],
+        "nranks": led["nranks"],
+        "cells": cells,
+    }
+
+
+def read_history(path: str) -> list[dict]:
+    records = []
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: {e}")
+                if rec.get("schema") != SCHEMA or rec.get("version") != VERSION:
+                    fail(f"{path}:{lineno}: not a {SCHEMA} v{VERSION} record")
+                records.append(rec)
+    except OSError as e:
+        fail(f"{path}: {e}")
+    return records
+
+
+def baseline_for(records: list[dict], bench: str) -> dict | None:
+    """Newest committed record for this bench (appends win)."""
+    hit = None
+    for rec in records:
+        if rec["bench"] == bench:
+            hit = rec
+    return hit
+
+
+def higher_is_better(name: str) -> bool:
+    return "speedup" in name or "vs_" in name
+
+
+def cmd_distill(args: argparse.Namespace) -> int:
+    with open(args.history, "a") as out:
+        for path in args.ledgers:
+            rec = distill(load_ledger(path), args.commit)
+            if not rec["cells"]:
+                print(f"perf_history: note: {path} has no sim_/wall_ cells; "
+                      "skipped")
+                continue
+            out.write(json.dumps(rec, sort_keys=True) + "\n")
+            print(f"perf_history: appended {rec['bench']} "
+                  f"({len(rec['cells'])} cells, commit {rec['commit']}) "
+                  f"-> {args.history}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    records = read_history(args.history)
+    if not records:
+        fail(f"{args.history}: no baseline records")
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for path in args.ledgers:
+        rec = distill(load_ledger(path), commit="current")
+        base = baseline_for(records, rec["bench"])
+        if base is None:
+            warnings.append(f"{rec['bench']}: no baseline record "
+                            "(new bench? distill one)")
+            continue
+        for name, cur in rec["cells"].items():
+            ref = base["cells"].get(name)
+            if ref is None:
+                warnings.append(f"{rec['bench']}.{name}: not in baseline")
+                continue
+            if not isinstance(ref, (int, float)) or abs(ref) < 1e-300:
+                continue
+            if higher_is_better(name):
+                change = ref / cur - 1.0 if cur > 0 else float("inf")
+            else:
+                change = cur / ref - 1.0
+            verdict = "ok"
+            line = (f"{rec['bench']:<16} {name:<36} base {ref:<12.6g} "
+                    f"now {cur:<12.6g} {change:+8.1%}")
+            if change > args.tolerance:
+                if name.startswith("sim_") or args.strict:
+                    verdict = "REGRESSION"
+                    regressions.append(line)
+                else:
+                    verdict = "warn (wall-clock)"
+                    warnings.append(line)
+            print(f"  {line}  {verdict}")
+        missing = sorted(set(base["cells"]) - set(rec["cells"]))
+        for name in missing:
+            warnings.append(f"{rec['bench']}.{name}: in baseline but not "
+                            "in this run")
+    for w in warnings:
+        print(f"perf_history: warn: {w}")
+    if regressions:
+        print(f"perf_history: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} vs {args.history}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"perf_history: OK ({len(args.ledgers)} ledger(s) vs "
+          f"{args.history}, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    for rec in read_history(args.history):
+        print(f"{rec['bench']} @ {rec['commit']} (P={rec['nranks']})")
+        for name, v in rec["cells"].items():
+            print(f"  {name:<36} {v:.6g}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    top = argparse.ArgumentParser(description=__doc__)
+    sub = top.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("distill", help="append baseline records")
+    p.add_argument("--history", required=True)
+    p.add_argument("--commit", default="unknown")
+    p.add_argument("ledgers", nargs="+")
+    p.set_defaults(fn=cmd_distill)
+
+    p = sub.add_parser("check", help="compare ledgers vs baseline")
+    p.add_argument("--history", required=True)
+    p.add_argument("--strict", action="store_true",
+                   help="gate wall_ cells too, not just sim_")
+    p.add_argument("--tolerance", type=float, default=0.10)
+    p.add_argument("ledgers", nargs="+")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("show", help="dump the history table")
+    p.add_argument("--history", required=True)
+    p.set_defaults(fn=cmd_show)
+
+    args = top.parse_args(argv[1:])
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

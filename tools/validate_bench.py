@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate and gate the machine-readable artifacts the benches emit.
+
+One entry point replaces the inline python blocks ci.sh used to carry:
+
+    validate_bench.py local_sort BENCH_local_sort.json
+    validate_bench.py exchange   BENCH_exchange.json
+    validate_bench.py recovery   BENCH_recovery.json
+    validate_bench.py ledger     ledger.json [ledger2.json ...]
+
+Kinds and their gates (unchanged from the historical ci.sh heredocs):
+  local_sort  cell shape; the radix kernel must beat std::sort on uniform
+              u64 at n = 2^20 (the wall-clock claim behind Auto dispatch).
+  exchange    cell shape incl. per-round k-ary breakdowns; the pull path
+              must beat packed by >= 1.3x on the u64 P=16 exchange
+              superstep, and the best k-ary exchange must beat
+              packed-alltoallv-plus-merge by >= 1.3x on u64 P=16.
+  recovery    cell shape; fault-free checkpoint overhead <= 10% at
+              P in {4, 8, 16}; ResumeCheckpoint beats RestartFull for
+              crashes at or after the exchange superstep.
+  ledger      hds-run-ledger schema check: versioned header, op-class /
+              sample / feature cross-consistency, and the fit never losing
+              to the probe surrogate (err2_fit <= err2_default).
+
+Exit status: 0 OK, 1 gate failure or malformed artifact, 2 usage error.
+No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def load(path: str):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_local_sort(path: str) -> None:
+    cells = load(path)
+    require(isinstance(cells, list) and bool(cells),
+            f"{path}: empty or malformed JSON")
+    for c in cells:
+        for k in ("type", "n", "kernel", "seconds_median",
+                  "speedup_vs_comparison"):
+            require(k in c, f"missing field {k}: {c}")
+    target = [c for c in cells
+              if c["type"] == "u64" and c["n"] == 1 << 20 and
+              c["kernel"] == "radix"]
+    require(bool(target), "no u64 radix cell at n=2^20")
+    speedup = target[0]["speedup_vs_comparison"]
+    require(speedup > 1.0,
+            f"radix lost to std::sort on u64 at 2^20: {speedup}x")
+    print(f"perf smoke OK: radix {speedup:.2f}x faster than std::sort "
+          "(u64, n=2^20)")
+
+
+def check_exchange(path: str) -> None:
+    cells = load(path)
+    require(isinstance(cells, list) and bool(cells),
+            f"{path}: empty or malformed JSON")
+    for c in cells:
+        for k in ("type", "nranks", "path", "phase", "n_per_rank",
+                  "seconds_median", "speedup_vs_packed", "algo", "k"):
+            require(k in c, f"missing field {k}: {c}")
+        require(c["path"] in ("packed", "pull"), str(c))
+        require(c["phase"] in ("exchange", "exchange+merge"), str(c))
+        require(c["algo"] in ("alltoallv", "kary"), str(c))
+        require(c["seconds_median"] > 0.0, str(c))
+        if c["algo"] == "kary":
+            require(c["k"] >= 2 and c["phase"] == "exchange+merge", str(c))
+            require(bool(c.get("rounds")),
+                    f"kary cell missing per-round breakdown: {c}")
+            for r in c["rounds"]:
+                require(r["exchange_s"] >= 0.0 and r["merge_s"] >= 0.0,
+                        str(c))
+        else:
+            require(c["k"] == 0 and "rounds" not in c, str(c))
+    target = [c for c in cells
+              if c["type"] == "u64" and c["nranks"] == 16 and
+              c["path"] == "pull" and c["phase"] == "exchange" and
+              c["algo"] == "alltoallv"]
+    require(bool(target), "no u64 P=16 pull exchange cell")
+    speedup = target[0]["speedup_vs_packed"]
+    require(speedup >= 1.3,
+            f"pull path only {speedup:.2f}x vs packed on u64 P=16 exchange "
+            "(< 1.3x)")
+    print(f"perf gate OK: pull {speedup:.2f}x faster than packed "
+          "(u64, P=16, exchange superstep)")
+    kary = [c for c in cells
+            if c["algo"] == "kary" and c["type"] == "u64" and
+            c["nranks"] == 16]
+    require(bool(kary), "no u64 P=16 kary cells")
+    best = max(kary, key=lambda c: c["speedup_vs_packed"])
+    require(best["speedup_vs_packed"] >= 1.3,
+            f"best k-ary (k={best['k']}) only "
+            f"{best['speedup_vs_packed']:.2f}x vs packed alltoallv on u64 "
+            "P=16 exchange+merge (< 1.3x)")
+    print(f"perf gate OK: k-ary k={best['k']} "
+          f"{best['speedup_vs_packed']:.2f}x faster than packed alltoallv "
+          "(u64, P=16, exchange+merge supersteps)")
+
+
+def check_recovery(path: str) -> None:
+    cells = load(path)
+    require(isinstance(cells, list) and bool(cells),
+            f"{path}: empty or malformed JSON")
+    for c in cells:
+        for k in ("kind", "nranks", "crash", "mode", "n_per_rank",
+                  "sim_seconds", "vs_restart", "overhead_frac",
+                  "recomputed_fraction", "recover_s", "attempts",
+                  "checkpoint_bytes"):
+            require(k in c, f"missing field {k}: {c}")
+        require(c["kind"] in ("overhead", "crash"), str(c))
+        require(c["sim_seconds"] > 0.0, str(c))
+    ovh = [c for c in cells
+           if c["kind"] == "overhead" and c["mode"] == "checkpointed"]
+    require(len(ovh) == 3, "expected overhead cells at P in {4, 8, 16}")
+    for c in ovh:
+        require(c["overhead_frac"] <= 0.10,
+                f"checkpoint overhead {c['overhead_frac']:.1%} > 10% "
+                f"at P={c['nranks']}")
+    for crash in ("exchange-begin", "exchange-end"):
+        resume = [c for c in cells if c["kind"] == "crash"
+                  and c["crash"] == crash and
+                  c["mode"] == "ResumeCheckpoint"]
+        require(bool(resume), f"no ResumeCheckpoint cell for {crash}")
+        require(resume[0]["vs_restart"] > 1.0,
+                f"resume did not beat restart at {crash}: "
+                f"{resume[0]['vs_restart']:.2f}x")
+        require(resume[0]["recomputed_fraction"] < 1.0, str(resume[0]))
+    print("recovery gate OK: overhead <= 10% at P in {4,8,16}, resume "
+          "beats restart at/after the exchange superstep")
+
+
+def check_ledger(path: str) -> None:
+    led = load(path)
+    require(isinstance(led, dict), f"{path}: not a JSON object")
+    require(led.get("schema") == "hds-run-ledger",
+            f"{path}: schema is {led.get('schema')!r}")
+    require(led.get("version") == 1, f"{path}: unknown ledger version")
+    for k in ("bench", "nranks", "makespan_s", "config", "machine",
+              "phases", "phase_seconds", "op_classes", "samples",
+              "timeline", "counters", "scalars"):
+        require(k in led, f"{path}: missing key {k!r}")
+    P = led["nranks"]
+    require(isinstance(P, int) and P >= 1, f"{path}: bad nranks {P}")
+    require(len(led["phase_seconds"]) in (0, P),
+            f"{path}: phase_seconds has {len(led['phase_seconds'])} rows "
+            f"for {P} ranks")
+    nsamples = 0
+    for name, st in led["op_classes"].items():
+        for k in ("count", "bytes", "slice_s", "model_s", "max_slice_s"):
+            require(k in st, f"{path}: op class {name} missing {k}")
+        require(st["count"] > 0, f"{path}: op class {name} with count 0")
+        # model charge never exceeds the slice span it was recorded in
+        require(st["model_s"] <= st["slice_s"] + 1e-9,
+                f"{path}: {name} model_s {st['model_s']} > slice_s "
+                f"{st['slice_s']}")
+        if name not in ("compute", "none"):
+            nsamples += st["count"]
+    require(len(led["samples"]) == nsamples,
+            f"{path}: {len(led['samples'])} samples but op classes total "
+            f"{nsamples}")
+    for s in led["samples"]:
+        require(len(s) == 4, f"{path}: malformed sample {s}")
+    if "features" in led:
+        ft = led["features"]
+        require(ft["total_err2_fit"] <= ft["total_err2_default"] + 1e-18,
+                f"{path}: fit lost to the probe surrogate "
+                f"({ft['total_err2_fit']} > {ft['total_err2_default']})")
+        for name, f in ft["classes"].items():
+            require(f["err2_fit"] <= f["err2_default"] + 1e-18,
+                    f"{path}: class {name} fit lost to the surrogate")
+    print(f"ledger OK: {path} ({led['bench']}, P={P}, "
+          f"{len(led['samples'])} samples, "
+          f"{len(led['scalars'])} scalar cells)")
+
+
+KINDS = {
+    "local_sort": check_local_sort,
+    "exchange": check_exchange,
+    "recovery": check_recovery,
+    "ledger": check_ledger,
+}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3 or argv[1] not in KINDS:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[2:]:
+        KINDS[argv[1]](path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
