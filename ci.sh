@@ -121,6 +121,40 @@ for p in 4 8 16; do
       tail -1)
 done
 
+# Model check (DESIGN.md sec. 15): the static schedule matcher over the
+# full algorithm x exchange x data-path grid (plus the seeded
+# collective-order swap that must FAIL the lint), then bounded
+# schedule-space exploration of the histogram sort at P in {2, 3} and the
+# mailbox/borrow/recovery micro-protocols at P = 4 — deadlock-freedom,
+# quiescence, and byte-identical output + exact sim-time determinism over
+# every explored interleaving — and the three seeded protocol mutations,
+# each of which must be caught with a replayable counterexample. The
+# report artifact is schema-gated by validate_bench.py. HDS_MODEL_DEEP=1
+# switches exploration to exhaustive (no independence pruning) with a
+# larger budget — hours, not minutes; the default budget is the CI gate.
+echo "=== model check: static matcher + bounded exploration ==="
+if [ "${HDS_MODEL_DEEP:-0}" = "1" ]; then
+  (cd build-ci-relwithdebinfo &&
+    ./examples/model_check --deep --max-runs=4096 \
+      --json=model_report.json --schedule-out=model_counterexample.schedule)
+else
+  (cd build-ci-relwithdebinfo &&
+    ./examples/model_check --max-runs=256 \
+      --json=model_report.json --schedule-out=model_counterexample.schedule)
+fi
+python3 tools/validate_bench.py model-report \
+  build-ci-relwithdebinfo/model_report.json
+# The counterexample written for a seeded mutation must replay: quickstart
+# re-runs the recorded schedule and exits 1 when the issue reproduces.
+if (cd build-ci-relwithdebinfo &&
+  ./examples/quickstart \
+    --replay-schedule=model_counterexample.schedule); then
+  echo "model check FAIL: counterexample schedule replayed clean" >&2
+  exit 1
+else
+  echo "model check OK: counterexample reproduces under replay"
+fi
+
 # Fault matrix: every RecoveryMode must complete a correct sort through a
 # crash, a straggler and a lossy network at P in {4, 8, 16} (quickstart's
 # resilient path drives core::sort_resilient end-to-end; the crash schedule

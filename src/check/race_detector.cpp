@@ -13,6 +13,11 @@ namespace {
 /// Logical synchronization shape of a collective (see header).
 enum class Shape : u8 { FullJoin, Star, Prefix, Pairwise };
 
+/// Exhaustive on purpose — no default. -Wswitch forces a decision here for
+/// every new OpKind, and the opid-coverage lint rule (tools/lint_hds.py)
+/// cross-checks this table against the model checker's transition table
+/// (model/transitions.h) so an op cannot get HB semantics in one and none
+/// in the other.
 Shape shape_of(obs::OpKind op) {
   switch (op) {
     case obs::OpKind::Barrier:
@@ -30,9 +35,14 @@ Shape shape_of(obs::OpKind op) {
     case obs::OpKind::Scan:
     case obs::OpKind::Exscan:
       return Shape::Prefix;
-    default:
+    case obs::OpKind::None:
+    case obs::OpKind::Send:
+    case obs::OpKind::Recv:
+    case obs::OpKind::Compute:    // tracer-only; never reaches on_collective
+    case obs::OpKind::Checkpoint: // buddy transfer: pairwise by construction
       return Shape::Pairwise;
   }
+  return Shape::Pairwise;
 }
 
 void append_ring(std::ostringstream& os,

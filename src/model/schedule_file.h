@@ -1,0 +1,42 @@
+// Replayable schedule files (hds-schedule v1): the serialized form of a
+// model-checker counterexample. A schedule is the sequence of rank choices
+// the controlled scheduler made at each decision point, plus the seeded
+// protocol mutation (if any) that was active. Text, one token per line, so
+// a failing schedule can be read, edited, and attached to a bug report:
+//
+//   hds-schedule v1
+//   scenario sort2
+//   mutation drop-barrier 0 3      <- optional: kind, rank, nth
+//   steps 5
+//   0
+//   1
+//   1
+//   0
+//   1
+//
+// Replay: feed `choices` to ControlledScheduler::Config::prefix (the
+// explorer does this for counterexample verification; examples/quickstart
+// exposes it as --replay-schedule=FILE).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/controlled_scheduler.h"
+
+namespace hds::model {
+
+struct ScheduleFile {
+  std::string scenario;
+  Mutation mutation{};
+  std::vector<int> choices;
+};
+
+/// Serialize to `path`. Returns false on I/O failure.
+bool write_schedule(const std::string& path, const ScheduleFile& s);
+
+/// Parse `path`; nullopt on I/O failure or malformed content.
+std::optional<ScheduleFile> read_schedule(const std::string& path);
+
+}  // namespace hds::model

@@ -22,6 +22,7 @@
 
 #include "common/error.h"
 #include "common/types.h"
+#include "model/hook.h"
 
 namespace hds::runtime {
 
@@ -34,8 +35,9 @@ class team_aborted : public std::runtime_error {
 
 class Barrier {
  public:
-  Barrier(int count, const std::atomic<bool>* abort_flag)
-      : count_(count), abort_(abort_flag) {
+  Barrier(int count, const std::atomic<bool>* abort_flag,
+          model::ScheduleHook* hook = nullptr)
+      : count_(count), abort_(abort_flag), hook_(hook) {
     HDS_CHECK(count >= 1);
   }
 
@@ -45,6 +47,10 @@ class Barrier {
   /// Block until all `count` ranks arrive. Throws team_aborted if the team
   /// was poisoned while waiting (or on entry).
   void wait() {
+    if (hook_ != nullptr) {
+      wait_controlled();
+      return;
+    }
     std::unique_lock lock(mu_);
     if (abort_->load(std::memory_order_relaxed)) throw team_aborted();
     const bool sense = sense_;
@@ -81,12 +87,48 @@ class Barrier {
   int participants() const { return count_; }
 
  private:
+  /// Hooked wait (DESIGN.md sec. 15): the arrival is an effect for the
+  /// independence relation, and a non-final arriver parks through the
+  /// scheduler instead of the condition variable. The predicate is
+  /// evaluated by the scheduler while no rank runs, so taking mu_ inside
+  /// it is contention-free. Hook calls happen strictly outside mu_ — the
+  /// scheduler lock nests primitive locks (predicates), never the other
+  /// way around (lock-order discipline, TSan-checked).
+  void wait_controlled() {
+    if (hook_->mutate_drop_barrier()) return;  // seeded mutation: skip entry
+    bool sense = false;
+    bool final_arriver = false;
+    {
+      std::lock_guard lock(mu_);
+      if (abort_->load(std::memory_order_relaxed)) throw team_aborted();
+      sense = sense_;
+      if (++waiting_ == count_) {
+        waiting_ = 0;
+        sense_ = !sense_;
+        final_arriver = true;
+      }
+    }
+    hook_->note_effect(model::Site::Barrier, this, 0, 0);
+    if (final_arriver) return;  // final arriver releases the epoch, runs on
+    hook_->park(model::Site::Barrier, this, 0, 0, [this, sense] {
+      std::lock_guard lock(mu_);
+      return sense_ != sense || abort_->load(std::memory_order_relaxed);
+    });
+    std::lock_guard lock(mu_);
+    if (sense_ == sense) {
+      // Released in abort mode: withdraw so a later run starts clean.
+      --waiting_;
+      throw team_aborted();
+    }
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   const int count_;
   int waiting_ = 0;
   bool sense_ = false;
   const std::atomic<bool>* abort_;
+  model::ScheduleHook* hook_;  ///< controlled scheduling; null in production
 };
 
 }  // namespace hds::runtime

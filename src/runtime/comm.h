@@ -19,12 +19,14 @@
 
 #include <cmath>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "check/race_detector.h"
+#include "model/recorder.h"
 #include "common/error.h"
 #include "net/cost_model.h"
 #include "net/sim.h"
@@ -52,6 +54,13 @@ constexpr std::string_view op_name(OpId op) { return obs::op_kind_name(op); }
 /// drains the loan non-throwing as a last resort, but relying on it is a
 /// bug — wait() explicitly after posting your own receives, or a pairwise
 /// exchange can deadlock until the watchdog fires.
+///
+/// Error paths are the exception to "the destructor is a bug": when an
+/// exception unwinds past a pending token, the destructor poisons the team
+/// before draining. Without that, the drain blocks on a receiver that may
+/// itself be parked waiting for this failing rank — a deadlock the watchdog
+/// converts into a timeout only a minute later (the bug the model checker's
+/// borrow micro-protocol regression pins down).
 class [[nodiscard]] BorrowToken {
  public:
   BorrowToken() = default;
@@ -61,15 +70,37 @@ class [[nodiscard]] BorrowToken {
   BorrowToken& operator=(const BorrowToken&) = delete;
 
   ~BorrowToken() {
-    if (state_) state_->wait_nothrow(abort_);
+    if (!state_) return;
+    model::ScheduleHook* hook = team_ != nullptr ? team_->cfg_.model : nullptr;
+    if (std::uncaught_exceptions() > 0) {
+      // Unwinding past a pending loan: the protocol around this token is
+      // already broken, so poison the team. Peers unwind promptly and the
+      // drain below returns instead of spinning until the watchdog.
+      if (team_ != nullptr &&
+          !team_->abort_.load(std::memory_order_relaxed)) {
+        team_->abort_.store(true, std::memory_order_relaxed);
+        team_->poison_all();
+      }
+    } else if (hook != nullptr) {
+      // Clean-path dtor drain: the token was never waited — a loan
+      // discipline violation the model checker reports at the terminal
+      // state.
+      hook->note_borrow_dtor_drain();
+    }
+    state_->wait_nothrow(team_ != nullptr ? &team_->abort_ : nullptr, hook);
   }
 
   /// Block until the receiver released the buffer (or the team aborted).
   void wait() {
-    if (state_) {
-      state_->wait(abort_);
-      state_.reset();
-    }
+    if (!state_) return;
+    model::ScheduleHook* hook = team_ != nullptr ? team_->cfg_.model : nullptr;
+    // Seeded mutation (model checker self-test): abandon the loan to the
+    // destructor as if the call site forgot to wait.
+    if (hook != nullptr && hook->mutate_skip_borrow_wait()) return;
+    state_->wait(team_ != nullptr ? &team_->abort_ : nullptr, hook);
+    if (team_ != nullptr)
+      if (auto* rec = team_->cfg_.recorder) rec->note_loan_closed(state_.get());
+    state_.reset();
   }
 
   /// True while the receiver still holds the loan.
@@ -77,12 +108,11 @@ class [[nodiscard]] BorrowToken {
 
  private:
   friend class Comm;
-  BorrowToken(std::shared_ptr<BorrowState> state,
-              const std::atomic<bool>* abort)
-      : state_(std::move(state)), abort_(abort) {}
+  BorrowToken(std::shared_ptr<BorrowState> state, Team* team)
+      : state_(std::move(state)), team_(team) {}
 
   std::shared_ptr<BorrowState> state_;
-  const std::atomic<bool>* abort_ = nullptr;
+  Team* team_ = nullptr;
 };
 
 class Comm {
@@ -603,9 +633,11 @@ class Comm {
     tracer().op_model(dt);
     clock().advance(dt);  // synchronous send: sender busy for the transfer
     auto state = std::make_shared<BorrowState>();
+    if (auto* rec = team_->cfg_.recorder)
+      rec->note_loan_open(world_rank(), state.get());
     deliver_borrowed(dw, tag, std::as_bytes(data), state);
     tracer().op_end(clock().now());
-    return BorrowToken(std::move(state), &team_->abort_);
+    return BorrowToken(std::move(state), team_);
   }
 
   /// Receive directly into a caller-provided span (capacity must cover the
@@ -795,7 +827,11 @@ class Comm {
     if (nbytes > 0) std::memcpy(out, payload, nbytes);
     // Signal strictly after the copy: the sender's wait() + this mutex
     // round-trip give the copy a happens-before edge to buffer reuse.
-    if (borrowed) msg.borrow->signal();
+    if (borrowed) {
+      msg.borrow->signal();
+      if (model::ScheduleHook* hook = team_->cfg_.model)
+        hook->note_effect(model::Site::Borrow, msg.borrow.get(), 0, 0);
+    }
     tracer().op_bytes(nbytes);
     tracer().op_end(clock().now());
     return nbytes;
@@ -836,6 +872,11 @@ class Comm {
     ps.last_op.store(static_cast<u32>(op), std::memory_order_relaxed);
     ps.sim_clock.store(clock().now(), std::memory_order_relaxed);
     ps.ops.fetch_add(1, std::memory_order_relaxed);
+    // Static-matcher tap (hds::model): record the symbolic op before any
+    // payload moves, so the per-rank schedules survive a
+    // collective_mismatch abort and the matcher can lint them afterwards.
+    if (auto* rec = team_->cfg_.recorder)
+      rec->note_op(world_rank(), state_->members, op, cls, peer, tag);
     tracer().op_begin(op, cls, clock().phase(), clock().now(), bytes, peer,
                       tag, traffic);
     if (FaultPlan* fp = team_->fault_plan()) {

@@ -43,8 +43,17 @@ class BorrowState {
 
   /// Block until the receiver released the buffer. Throws team_aborted if
   /// the team is poisoned while waiting (polled: the token is not wired
-  /// into the Team's poison fan-out).
-  void wait(const std::atomic<bool>* abort) {
+  /// into the Team's poison fan-out). Under a controlled schedule the poll
+  /// is replaced by a scheduler park — spinning would starve every other
+  /// rank of the baton.
+  void wait(const std::atomic<bool>* abort,
+            model::ScheduleHook* hook = nullptr) {
+    if (hook != nullptr) {
+      park(abort, hook);
+      std::lock_guard lock(mu_);
+      if (!done_) throw team_aborted();  // released in abort mode
+      return;
+    }
     std::unique_lock lock(mu_);
     while (!done_) {
       if (abort->load(std::memory_order_relaxed)) throw team_aborted();
@@ -56,7 +65,12 @@ class BorrowState {
   /// returns once the loan is returned, or once the team is aborting — in
   /// which case the receiver is unwinding too and will not touch the
   /// buffer again.
-  void wait_nothrow(const std::atomic<bool>* abort) noexcept {
+  void wait_nothrow(const std::atomic<bool>* abort,
+                    model::ScheduleHook* hook = nullptr) noexcept {
+    if (hook != nullptr) {
+      park(abort, hook);  // returns with the loan done or the team aborting
+      return;
+    }
     std::unique_lock lock(mu_);
     while (!done_) {
       if (abort == nullptr || abort->load(std::memory_order_relaxed)) return;
@@ -70,6 +84,17 @@ class BorrowState {
   }
 
  private:
+  /// Controlled-schedule wait: ready once the loan returned or the team is
+  /// aborting (either way nobody touches the buffer again).
+  void park(const std::atomic<bool>* abort,
+            model::ScheduleHook* hook) noexcept {
+    hook->park(model::Site::Borrow, this, 0, 0, [this, abort] {
+      std::lock_guard lock(mu_);
+      return done_ || abort == nullptr ||
+             abort->load(std::memory_order_relaxed);
+    });
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
@@ -94,25 +119,57 @@ struct Message {
 
 class Mailbox {
  public:
-  explicit Mailbox(const std::atomic<bool>* abort_flag) : abort_(abort_flag) {}
+  explicit Mailbox(const std::atomic<bool>* abort_flag, rank_t owner = 0,
+                   model::ScheduleHook* hook = nullptr)
+      : owner_(owner), abort_(abort_flag), hook_(hook) {}
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
   void push(Message msg) {
+    const rank_t src = msg.src;
+    const u64 tag = msg.tag;
     {
       std::lock_guard lock(mu_);
-      channels_[{msg.src, msg.tag}].push_back(std::move(msg));
+      auto& q = channels_[{src, tag}];
+      // Seeded mutation hook (model checker only): deliver this message
+      // ahead of the channel's queued ones — a FIFO violation the explorer
+      // must catch as an output divergence.
+      if (hook_ != nullptr && !q.empty() &&
+          hook_->mutate_reorder_push(static_cast<int>(owner_),
+                                     static_cast<int>(src), tag))
+        q.push_front(std::move(msg));
+      else
+        q.push_back(std::move(msg));
       ++pending_;
     }
+    if (hook_ != nullptr)
+      hook_->note_effect(model::Site::Mailbox, this, static_cast<u64>(src),
+                         tag);
     cv_.notify_one();
   }
 
   /// Pop the oldest message matching (src, tag). Blocks; throws team_aborted
   /// if the team is poisoned while waiting.
   Message pop(rank_t src, u64 tag) {
-    std::unique_lock lock(mu_);
     const std::pair<rank_t, u64> key{src, tag};
+    if (hook_ != nullptr) {
+      hook_->park(model::Site::Mailbox, this, static_cast<u64>(src), tag,
+                  [this, key] {
+                    std::lock_guard lock(mu_);
+                    return channels_.find(key) != channels_.end() ||
+                           abort_->load(std::memory_order_relaxed);
+                  });
+      std::lock_guard lock(mu_);
+      auto it = channels_.find(key);
+      if (it == channels_.end()) throw team_aborted();  // abort-mode release
+      Message out = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) channels_.erase(it);
+      --pending_;
+      return out;
+    }
+    std::unique_lock lock(mu_);
     for (;;) {
       if (abort_->load(std::memory_order_relaxed)) throw team_aborted();
       if (auto it = channels_.find(key); it != channels_.end()) {
@@ -168,7 +225,9 @@ class Mailbox {
   /// FIFO per (src, tag); empty deques are erased so the map stays small.
   std::map<std::pair<rank_t, u64>, std::deque<Message>> channels_;
   usize pending_ = 0;
+  rank_t owner_;  ///< world rank this mailbox belongs to (model footprints)
   const std::atomic<bool>* abort_;
+  model::ScheduleHook* hook_;  ///< controlled scheduling; null in production
 };
 
 }  // namespace hds::runtime

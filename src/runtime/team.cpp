@@ -18,9 +18,10 @@ namespace detail {
 
 CommState::CommState(std::vector<rank_t> member_ranks,
                      const net::MachineModel& m,
-                     const std::atomic<bool>* abort_flag)
+                     const std::atomic<bool>* abort_flag,
+                     model::ScheduleHook* hook)
     : members(std::move(member_ranks)),
-      barrier(static_cast<int>(members.size()), abort_flag) {
+      barrier(static_cast<int>(members.size()), abort_flag, hook) {
   HDS_CHECK(!members.empty());
   std::vector<int> nodes;
   nodes.reserve(members.size());
@@ -49,7 +50,7 @@ Team::Team(TeamConfig cfg) : cfg_(cfg) {
   std::vector<rank_t> all(cfg_.nranks);
   for (int r = 0; r < cfg_.nranks; ++r) all[r] = r;
   world_ = std::make_unique<detail::CommState>(std::move(all), cfg_.machine,
-                                               &abort_);
+                                               &abort_, cfg_.model);
   clocks_.resize(cfg_.nranks);
   final_times_.resize(cfg_.nranks, 0.0);
   progress_ = std::make_unique<detail::ProgressState[]>(
@@ -90,7 +91,7 @@ void Team::run(const std::function<void(Comm&)>& fn) {
   mailboxes_.clear();
   mailboxes_.reserve(cfg_.nranks);
   for (int r = 0; r < cfg_.nranks; ++r)
-    mailboxes_.push_back(std::make_unique<Mailbox>(&abort_));
+    mailboxes_.push_back(std::make_unique<Mailbox>(&abort_, r, cfg_.model));
   for (int r = 0; r < cfg_.nranks; ++r) progress_[r].reset();
   trace_report_.reset();
   for (auto& m : metrics_) m.reset();
@@ -104,7 +105,10 @@ void Team::run(const std::function<void(Comm&)>& fn) {
 
   std::atomic<int> done{0};
   std::thread watchdog;
-  if (cfg_.watchdog_timeout_s > 0.0) {
+  // A controlled run is wall-clock unbounded by design (parked ranks are
+  // a scheduler decision, not a hang); the scheduler's own deadlock/budget
+  // detection replaces the watchdog.
+  if (cfg_.watchdog_timeout_s > 0.0 && cfg_.model == nullptr) {
     {
       std::lock_guard lock(watchdog_mu_);
       watchdog_stop_ = false;
@@ -116,6 +120,7 @@ void Team::run(const std::function<void(Comm&)>& fn) {
   threads.reserve(cfg_.nranks);
   for (int r = 0; r < cfg_.nranks; ++r) {
     threads.emplace_back([this, &fn, r, &done] {
+      if (cfg_.model) cfg_.model->rank_started(r);
       Comm comm(this, world_.get(), r);
       try {
         fn(comm);
@@ -129,6 +134,9 @@ void Team::run(const std::function<void(Comm&)>& fn) {
       // critical section orders the done-store before the wakeup.
       { std::lock_guard lock(rec_mu_); }
       rec_cv_.notify_all();
+      // Release the scheduling baton last: by now every observable effect
+      // of this rank (done flag included) is published.
+      if (cfg_.model) cfg_.model->rank_finished();
     });
   }
   for (auto& t : threads) t.join();
@@ -450,7 +458,7 @@ Team::RecoveryOutcome Team::recover(rank_t world) {
       HDS_CHECK(!survivors.empty());
       for (rank_t s : survivors) mailboxes_[s]->reset();
       auto st = std::make_unique<detail::CommState>(survivors, cfg_.machine,
-                                                    &abort_);
+                                                    &abort_, cfg_.model);
       detail::CommState* ptr = register_subteam(std::move(st));
       if (auto* rd = race_detector())
         // The agreement is a full join over the survivors: everything any
@@ -471,8 +479,87 @@ Team::RecoveryOutcome Team::recover(rank_t world) {
       rec_cv_.notify_all();
       return rec_last_;
     }
-    rec_cv_.wait(lock);
+    if (cfg_.model != nullptr) {
+      // Controlled schedule: park through the scheduler instead of the
+      // condition variable. The predicate recomputes exactly the loop's
+      // actionable conditions, so a resumed rank always makes progress.
+      lock.unlock();
+      cfg_.model->park(model::Site::Recovery, this, static_cast<u64>(world),
+                       round,
+                       [this, world, round] {
+                         return recovery_actionable(world, round);
+                       });
+      lock.lock();
+      if (cfg_.model->run_abandoned()) {
+        // Scheduler abandoned the run (deadlock elsewhere / budget): unwind.
+        unpark();
+        throw team_aborted();
+      }
+    } else {
+      rec_cv_.wait(lock);
+    }
   }
+}
+
+bool Team::recovery_actionable(rank_t world, u64 round) const {
+  std::lock_guard lock(rec_mu_);
+  if (rec_fatal_ || rec_rounds_ > round) return true;
+  auto is_failed = [&](rank_t r) {
+    return std::find(failed_.begin(), failed_.end(), r) != failed_.end();
+  };
+  bool all_failed_done = true;
+  for (rank_t f : failed_)
+    if (!progress_[f].done.load(std::memory_order_relaxed))
+      all_failed_done = false;
+  bool all_live_parked = true;
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    if (is_failed(r)) continue;
+    if (std::find(rec_waiting_.begin(), rec_waiting_.end(), r) !=
+        rec_waiting_.end())
+      continue;
+    all_live_parked = false;
+    // A live rank finished without joining: the fatal path is actionable.
+    if (progress_[r].done.load(std::memory_order_relaxed)) return true;
+  }
+  (void)world;
+  return all_live_parked && all_failed_done && rec_pending_;
+}
+
+usize Team::undelivered_messages() const {
+  usize total = 0;
+  for (const auto& mb : mailboxes_) total += mb->pending();
+  return total;
+}
+
+std::vector<std::string> Team::model_quiescence_issues() const {
+  std::vector<std::string> issues;
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    const usize pending = mailboxes_[r]->pending();
+    if (pending == 0) continue;
+    std::ostringstream os;
+    os << "rank " << r << ": " << pending << " undelivered message(s)";
+    for (auto [src, tag] : mailboxes_[r]->pending_channels())
+      os << " (src=" << src << ", tag=" << tag << ")";
+    issues.push_back(os.str());
+  }
+  // The epoch arena's gate *is* the barrier: a nonzero waiter count after
+  // every rank returned means some collective epoch never closed (a rank
+  // withdrew or skipped), i.e. the arena was left un-reset.
+  auto check_barrier = [&](const detail::CommState& st, const std::string& what) {
+    if (st.barrier.waiting() != 0) {
+      std::ostringstream os;
+      os << what << ": barrier/epoch arena not reset ("
+         << st.barrier.waiting() << " arrival(s) recorded)";
+      issues.push_back(os.str());
+    }
+  };
+  check_barrier(*world_, "world");
+  {
+    std::lock_guard lock(subteam_mu_);
+    for (usize i = 0; i < subteams_.size(); ++i)
+      check_barrier(*subteams_[i], "subteam " + std::to_string(i));
+  }
+  return issues;
 }
 
 Comm Comm::split(int color, int key) {
@@ -514,7 +601,8 @@ Comm Comm::split(int color, int key) {
           for (usize k = i; k < j; ++k)
             group.push_back(state_->members[ents[k].member]);
           auto st = std::make_unique<detail::CommState>(
-              std::move(group), cost().machine(), &team_->abort_);
+              std::move(group), cost().machine(), &team_->abort_,
+              team_->cfg_.model);
           detail::CommState* ptr = team_->register_subteam(std::move(st));
           for (usize k = i; k < j; ++k)
             out[ents[k].member] = Assignment{ptr, static_cast<int>(k - i)};

@@ -34,8 +34,14 @@ class RaceDetector;
 struct CheckReport;
 }  // namespace hds::check
 
+namespace hds::model {
+class ControlledScheduler;
+class ScheduleRecorder;
+}  // namespace hds::model
+
 namespace hds::runtime {
 
+class BorrowToken;
 class Comm;
 class FaultPlan;
 
@@ -79,6 +85,16 @@ struct TeamConfig {
   /// default — the default abort semantics (and simulated times) are
   /// unchanged.
   bool recoverable = false;
+  /// Controlled-scheduling hook (hds::model, DESIGN.md sec. 15): when set,
+  /// every blocking site parks through it and a single enabled rank runs at
+  /// a time under the hook's chosen interleaving. Non-owning; null (the
+  /// default) means production behavior, bit-identical to pre-model builds.
+  model::ScheduleHook* model = nullptr;
+  /// Symbolic schedule recorder (hds::model static matcher): when set,
+  /// every Comm::note_op appends (rank, op, communicator signature, peer,
+  /// tag) to the recorder without changing payload movement or simulated
+  /// time. Non-owning; null by default.
+  model::ScheduleRecorder* recorder = nullptr;
 };
 
 /// Bounded-retry policy for Team::run_with_retry. Backoff is wall-clock:
@@ -211,7 +227,8 @@ class SiteScope {
 /// Shared state of one communicator (the world or a split subgroup).
 struct CommState {
   CommState(std::vector<rank_t> member_ranks, const net::MachineModel& m,
-            const std::atomic<bool>* abort_flag);
+            const std::atomic<bool>* abort_flag,
+            model::ScheduleHook* hook = nullptr);
 
   std::vector<rank_t> members;  ///< world ranks, ordered by split key
   int nodes_spanned = 1;
@@ -275,8 +292,19 @@ class Team {
   /// for a recovery-mode attempt and restore it afterwards).
   void set_recoverable(bool v) { cfg_.recoverable = v; }
 
+  /// Undelivered messages across every rank's mailbox (model-checker
+  /// terminal-state oracle; also useful in watchdog-style diagnostics).
+  usize undelivered_messages() const;
+  /// Terminal-state quiescence issues for the model checker: undelivered
+  /// mailbox channels and barriers left with a nonzero arrival count
+  /// (un-reset epoch state). Empty after any clean run.
+  std::vector<std::string> model_quiescence_issues() const;
+
  private:
   friend class Comm;
+  friend class BorrowToken;  ///< error-path poison (see comm.h)
+  /// Run-abandon poison (deadlock / budget; see model/controlled_scheduler.h).
+  friend class model::ControlledScheduler;
 
   /// What a survivor gets back from the agreement rendezvous: the rebuilt
   /// survivor communicator and the simulated time every survivor resumes
@@ -296,6 +324,10 @@ class Team {
   /// recovery is impossible (non-failure error recorded, or a live rank
   /// already returned and can never join the rendezvous).
   RecoveryOutcome recover(rank_t world);
+  /// Controlled-schedule ready predicate for the recovery rendezvous:
+  /// recomputes recover()'s actionable conditions under rec_mu_ (the
+  /// scheduler evaluates it while no rank runs).
+  bool recovery_actionable(rank_t world, u64 round) const;
 
   detail::CommState* register_subteam(
       std::unique_ptr<detail::CommState> state);
@@ -322,7 +354,7 @@ class Team {
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
 
-  std::mutex subteam_mu_;
+  mutable std::mutex subteam_mu_;  ///< const readers: model_quiescence_issues
   std::vector<std::unique_ptr<detail::CommState>> subteams_;
 
   std::mutex err_mu_;

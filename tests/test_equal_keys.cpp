@@ -1,0 +1,113 @@
+// Equal-key stress coverage (satellite of the model-checker PR): the
+// splitter bisection's worst case is a key space with no resolution at all
+// — every key identical, or a two-symbol alphabet whose histogram cannot
+// separate ranks. The sort must still terminate with the epsilon = 0
+// perfect-partitioning contract (every rank keeps its element count) on
+// every exchange algorithm, because duplicate handling rides the exchange
+// schedule's tie-breaking (world-rank order), not the key values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/histogram_sort.h"
+#include "runtime/team.h"
+#include "workload/distributions.h"
+
+namespace hds::core {
+namespace {
+
+using runtime::Comm;
+using runtime::Team;
+
+/// Sort `gen`-distributed keys at P = 16 under `cfg` and verify the full
+/// output contract: globally sorted, multiset-preserving, perfectly
+/// partitioned (epsilon = 0).
+void check_equal_key_sort(const SortConfig& cfg, workload::GenConfig gen) {
+  constexpr int P = 16;
+  constexpr usize kPerRank = 256;
+  std::vector<std::vector<u64>> shards(P);
+  std::vector<u64> all;
+  for (int r = 0; r < P; ++r) {
+    shards[r] = workload::generate_u64(gen, r, P, kPerRank);
+    all.insert(all.end(), shards[r].begin(), shards[r].end());
+  }
+  std::sort(all.begin(), all.end());
+
+  std::vector<std::vector<u64>> out(P);
+  Team team({.nranks = P});
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    sort(c, local, cfg);
+    EXPECT_TRUE(is_globally_sorted(
+        c, std::span<const u64>(local.data(), local.size()),
+        [](u64 v) { return v; }));
+    out[c.rank()] = std::move(local);
+  });
+
+  std::vector<u64> merged;
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(out[r].size(), kPerRank) << "rank " << r;
+    merged.insert(merged.end(), out[r].begin(), out[r].end());
+  }
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, all);
+}
+
+struct ExchangeCase {
+  const char* name;
+  ExchangeAlgorithm algo;
+  int k;
+};
+
+const ExchangeCase kExchanges[] = {
+    {"alltoallv", ExchangeAlgorithm::Alltoallv, 0},
+    {"hypercube", ExchangeAlgorithm::Hypercube, 0},
+    {"onefactor", ExchangeAlgorithm::OneFactor, 0},
+    {"kary-k2", ExchangeAlgorithm::KAry, 2},
+    {"kary-k4", ExchangeAlgorithm::KAry, 4},
+    {"kary-k16", ExchangeAlgorithm::KAry, 16},
+};
+
+TEST(EqualKeys, AllEqualAcrossExchangeAlgorithms) {
+  workload::GenConfig gen;
+  gen.dist = workload::Dist::AllEqual;
+  for (const ExchangeCase& ex : kExchanges) {
+    SCOPED_TRACE(ex.name);
+    SortConfig cfg;
+    cfg.exchange = ex.algo;
+    if (ex.k > 0) cfg.exchange_k = ex.k;
+    check_equal_key_sort(cfg, gen);
+  }
+}
+
+TEST(EqualKeys, TwoDistinctValuesAcrossExchangeAlgorithms) {
+  workload::GenConfig gen;
+  gen.dist = workload::Dist::FewDistinct;
+  gen.alphabet = 2;
+  for (const ExchangeCase& ex : kExchanges) {
+    SCOPED_TRACE(ex.name);
+    SortConfig cfg;
+    cfg.exchange = ex.algo;
+    if (ex.k > 0) cfg.exchange_k = ex.k;
+    check_equal_key_sort(cfg, gen);
+  }
+}
+
+TEST(EqualKeys, AllEqualWithOverlapMergeAndPackedPath) {
+  workload::GenConfig gen;
+  gen.dist = workload::Dist::AllEqual;
+  SortConfig cfg;
+  cfg.exchange = ExchangeAlgorithm::KAry;
+  cfg.exchange_k = 4;
+  cfg.overlap_merge = true;
+  check_equal_key_sort(cfg, gen);
+  cfg.path = DataPath::Packed;
+  cfg.overlap_merge = false;
+  cfg.exchange = ExchangeAlgorithm::Alltoallv;
+  check_equal_key_sort(cfg, gen);
+}
+
+}  // namespace
+}  // namespace hds::core

@@ -26,6 +26,15 @@ Rules (see DESIGN.md sec. 10):
                      attribution and the differential profiler key on; an
                      untagged op would silently land in OpClass::None and
                      corrupt the calibration fit.
+  opid-coverage      Every detail::OpId (= obs::OpKind) enum value must
+                     appear as an explicit `case` in BOTH the race
+                     checker's HB-edge table (shape_of in
+                     src/check/race_detector.cpp) and the model checker's
+                     transition table (transition_of in
+                     src/model/transitions.h). A new op that reaches only
+                     one of them would get happens-before semantics without
+                     scheduling/matching semantics (or vice versa) and the
+                     two verifiers would silently disagree.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -41,8 +50,9 @@ SRC = REPO / "src"
 
 # Directories whose code is allowed to use raw thread primitives: the
 # simulator's rank harness itself, the tracer (locked merge of per-rank
-# buffers), and the race checker (a cross-thread observer by design).
-THREAD_ALLOWLIST = ("src/runtime/", "src/obs/", "src/check/")
+# buffers), the race checker (a cross-thread observer by design), and the
+# model checker (the controlled scheduler is the thread harness's harness).
+THREAD_ALLOWLIST = ("src/runtime/", "src/obs/", "src/check/", "src/model/")
 
 THREAD_PRIMITIVES = re.compile(
     r"\bstd::(thread|jthread|mutex|recursive_mutex|shared_mutex|"
@@ -204,6 +214,65 @@ def check_comm_note_op(findings: list[str]) -> None:
             )
 
 
+def enum_values(header: str, enum_name: str) -> list[str]:
+    """Names declared in `enum class <enum_name>` of a stripped header."""
+    m = re.search(
+        r"enum\s+class\s+%s\b[^{]*\{(.*?)\}\s*;" % re.escape(enum_name),
+        header,
+        re.S,
+    )
+    if not m:
+        return []
+    names = []
+    for entry in m.group(1).split(","):
+        entry = entry.split("=")[0].strip()
+        if re.fullmatch(r"[A-Za-z_]\w*", entry):
+            names.append(entry)
+    return names
+
+
+def check_opid_coverage(findings: list[str]) -> None:
+    events = SRC / "obs" / "events.h"
+    kinds = enum_values(strip_comments_and_strings(events.read_text()),
+                        "OpKind")
+    if not kinds:
+        findings.append(
+            f"{events.relative_to(REPO)}: [opid-coverage] could not parse "
+            "enum class OpKind (lint parser out of date?)"
+        )
+        return
+    tables = [
+        (SRC / "check" / "race_detector.cpp", "shape_of"),
+        (SRC / "model" / "transitions.h", "transition_of"),
+    ]
+    for path, fn in tables:
+        if not path.is_file():
+            findings.append(
+                f"{path.relative_to(REPO)}: [opid-coverage] missing table "
+                f"file (expected {fn})"
+            )
+            continue
+        text = strip_comments_and_strings(path.read_text())
+        fn_pos = text.find(fn)
+        if fn_pos < 0:
+            findings.append(
+                f"{path.relative_to(REPO)}: [opid-coverage] could not "
+                f"locate {fn}()"
+            )
+            continue
+        _, body = extract_method_body(text, fn, fn_pos)
+        for kind in kinds:
+            if not re.search(
+                r"case\s+(?:obs::)?OpKind::%s\b" % re.escape(kind), body
+            ):
+                findings.append(
+                    f"{path.relative_to(REPO)}: [opid-coverage] "
+                    f"OpKind::{kind} has no explicit case in {fn}() — every "
+                    "op needs both an HB-edge shape and a model-checker "
+                    "transition"
+                )
+
+
 def check_file_rules(findings: list[str]) -> None:
     for path in sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cpp")):
         rel = path.relative_to(REPO).as_posix()
@@ -245,6 +314,7 @@ def main() -> int:
         return 2
     findings: list[str] = []
     check_comm_note_op(findings)
+    check_opid_coverage(findings)
     check_file_rules(findings)
     for f in findings:
         print(f)

@@ -21,6 +21,12 @@ Kinds and their gates (unchanged from the historical ci.sh heredocs):
   ledger      hds-run-ledger schema check: versioned header, op-class /
               sample / feature cross-consistency, and the fit never losing
               to the probe surrogate (err2_fit <= err2_default).
+  model-report  hds-model-report schema check (examples/model_check --json):
+              the static matcher saw no schedule mismatches, every
+              exploration ran clean and deterministic (byte-identical
+              output, exact sim-time equality across interleavings), and
+              every seeded protocol mutation was caught with a replayable
+              counterexample.
 
 Exit status: 0 OK, 1 gate failure or malformed artifact, 2 usage error.
 No dependencies beyond the standard library.
@@ -191,11 +197,61 @@ def check_ledger(path: str) -> None:
           f"{len(led['scalars'])} scalar cells)")
 
 
+def check_model_report(path: str) -> None:
+    rep = load(path)
+    require(isinstance(rep, dict), f"{path}: not a JSON object")
+    require(rep.get("schema") == "hds-model-report",
+            f"{path}: schema is {rep.get('schema')!r}")
+    require(rep.get("version") == 1, f"{path}: unknown model-report version")
+    for k in ("matcher", "explorations", "mutations"):
+        require(k in rep, f"{path}: missing key {k!r}")
+
+    mt = rep["matcher"]
+    for k in ("configs", "failures", "ops", "loans_opened", "loans_waited"):
+        require(k in mt, f"{path}: matcher missing {k!r}")
+    require(mt["configs"] >= 1, f"{path}: matcher ran no configurations")
+    require(mt["failures"] == 0,
+            f"{path}: static matcher found {mt['failures']} schedule "
+            "mismatch(es)")
+    require(mt["loans_waited"] == mt["loans_opened"],
+            f"{path}: {mt['loans_opened'] - mt['loans_waited']} loan(s) "
+            "not explicitly waited")
+
+    require(len(rep["explorations"]) >= 1, f"{path}: no explorations")
+    for ex in rep["explorations"]:
+        for k in ("scenario", "nranks", "runs", "decisions", "deterministic",
+                  "issues", "counterexample"):
+            require(k in ex, f"{path}: exploration missing {k!r}")
+        name = ex["scenario"]
+        require(ex["runs"] >= 1, f"{path}: {name}: no runs executed")
+        require(ex["deterministic"] is True,
+                f"{path}: {name}: output/sim-time diverged across schedules")
+        require(ex["issues"] == [],
+                f"{path}: {name}: oracle violations: {ex['issues']}")
+
+    require(len(rep["mutations"]) >= 3,
+            f"{path}: only {len(rep['mutations'])} seeded mutation(s) "
+            "exercised (need >= 3)")
+    for mu in rep["mutations"]:
+        for k in ("scenario", "mutation", "caught", "kind", "counterexample"):
+            require(k in mu, f"{path}: mutation entry missing {k!r}")
+        require(mu["caught"] is True,
+                f"{path}: seeded mutation {mu['mutation']!r} on "
+                f"{mu['scenario']!r} was NOT caught by the explorer")
+        require(len(mu["counterexample"]) > 0,
+                f"{path}: mutation {mu['mutation']!r} caught without a "
+                "replayable counterexample")
+    print(f"model-report OK: {path} (matcher configs={mt['configs']}, "
+          f"{len(rep['explorations'])} exploration(s), "
+          f"{len(rep['mutations'])} mutation(s) caught)")
+
+
 KINDS = {
     "local_sort": check_local_sort,
     "exchange": check_exchange,
     "recovery": check_recovery,
     "ledger": check_ledger,
+    "model-report": check_model_report,
 }
 
 
