@@ -76,6 +76,19 @@ echo "=== perf gate: bench_exchange ==="
 python3 tools/validate_bench.py exchange \
   build-ci-relwithdebinfo/BENCH_exchange.json
 
+# Perf gate: hybrid sampled histogramming (DESIGN.md sec. 16) must cut the
+# histogram-phase simulated time by >= 1.2x AND the probe volume vs the
+# dense baseline on the canonical uniform u64 P=16 eps=0.01 cell, and may
+# never regress the end-to-end makespan by more than 5% in any sweep cell
+# (all distributions x epsilons x P). The sweep's headline numbers feed the
+# perf-history stage through LEDGER_histogram.json.
+echo "=== perf gate: bench_table_iterations histogram sweep ==="
+(cd build-ci-relwithdebinfo &&
+  ./bench/bench_table_iterations --skip-table \
+    --out=BENCH_histogram.json --ledger=LEDGER_histogram.json)
+python3 tools/validate_bench.py histogram \
+  build-ci-relwithdebinfo/BENCH_histogram.json
+
 # Trace smoke: a traced quickstart run must produce Chrome trace JSON whose
 # per-rank slice durations reconcile exactly (<= 1e-9 relative) with the
 # SimClock phase sums the runtime reports — the invariant the obs layer is
@@ -202,10 +215,12 @@ echo "=== perf history: ledgers vs BENCH_history.jsonl ==="
 python3 tools/validate_bench.py ledger \
   build-ci-relwithdebinfo/LEDGER_local_sort.json \
   build-ci-relwithdebinfo/LEDGER_exchange.json \
+  build-ci-relwithdebinfo/LEDGER_histogram.json \
   build-ci-relwithdebinfo/LEDGER_recovery.json
 python3 tools/perf_history.py check --history BENCH_history.jsonl \
   build-ci-relwithdebinfo/LEDGER_local_sort.json \
   build-ci-relwithdebinfo/LEDGER_exchange.json \
+  build-ci-relwithdebinfo/LEDGER_histogram.json \
   build-ci-relwithdebinfo/LEDGER_recovery.json
 
 # TSan wants debug info and no aggressive inlining to produce usable

@@ -10,6 +10,7 @@
 //   ./quickstart [--ranks=8] [--keys-per-rank=100000] [--epsilon=0.0]
 //               [--trace=trace.json] [--ledger=ledger.json] [--check]
 //               [--path=pull|packed] [--exchange-k=4]
+//               [--histogram=dense|sampled|hybrid] [--oversample=K]
 //               [--fault=crash] [--fault-rank=1] [--fault-op=20]
 //               [--fault-seed=7] [--straggle=0.5] [--drop=0.05]
 //               [--recovery=restart|resume|shrink]
@@ -29,6 +30,12 @@
 // K-1 partners each, merging previous arrivals while the current round's
 // copies are in flight. K=2 is the hypercube schedule, K>=P one direct
 // round. Without the flag the paper's single-alltoallv exchange is used.
+// --histogram selects the splitter-search strategy (DESIGN.md sec. 16):
+// "dense" is the paper's probe-and-allreduce baseline, "sampled" runs
+// HSS-style sampled bracket rounds first, "hybrid" adds interpolated dense
+// probes seeded from the sampled CDF. All modes sort identically; they
+// differ in histogram rounds and bytes. --oversample=K sets the sample keys
+// drawn per rank per sampled round (beyond the two forced extremes).
 // --fault=crash kills --fault-rank at its --fault-op'th communication op;
 // --straggle=S delays it by S simulated seconds instead; --drop=P drops
 // each message with probability P (seeded by --fault-seed). Any of these
@@ -56,6 +63,17 @@
 #include "runtime/team.h"
 #include "workload/distributions.h"
 
+namespace {
+const char* histogram_mode_name(hds::core::HistogramMode m) {
+  switch (m) {
+    case hds::core::HistogramMode::Dense: return "dense";
+    case hds::core::HistogramMode::Sampled: return "sampled";
+    case hds::core::HistogramMode::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hds;
   int ranks = 8;
@@ -66,6 +84,8 @@ int main(int argc, char** argv) {
   bool check = false;
   core::DataPath path = core::DataPath::Pull;
   int exchange_k = 0;  // 0 = alltoallv (the default exchange)
+  core::HistogramMode histogram = core::HistogramMode::Dense;
+  usize oversample = 8;
   std::string fault;
   int fault_rank = 1;
   u64 fault_op = 20;
@@ -102,6 +122,22 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    if (arg.rfind("--histogram=", 0) == 0) {
+      const std::string v = arg.substr(12);
+      if (v == "dense") {
+        histogram = core::HistogramMode::Dense;
+      } else if (v == "sampled") {
+        histogram = core::HistogramMode::Sampled;
+      } else if (v == "hybrid") {
+        histogram = core::HistogramMode::Hybrid;
+      } else {
+        std::cerr << "unknown --histogram value: " << v
+                  << " (dense|sampled|hybrid)\n";
+        return 2;
+      }
+    }
+    if (arg.rfind("--oversample=", 0) == 0)
+      oversample = std::stoul(arg.substr(13));
     if (arg.rfind("--fault=", 0) == 0) fault = arg.substr(8);
     if (arg.rfind("--fault-rank=", 0) == 0)
       fault_rank = std::stoi(arg.substr(13));
@@ -224,6 +260,8 @@ int main(int argc, char** argv) {
     core::SortConfig cfg;
     cfg.epsilon = epsilon;
     cfg.path = path;
+    cfg.histogram = histogram;
+    cfg.oversample = oversample;
     if (exchange_k > 0) {
       cfg.exchange = core::ExchangeAlgorithm::KAry;
       cfg.exchange_k = exchange_k;
@@ -275,6 +313,8 @@ int main(int argc, char** argv) {
     core::SortConfig cfg;
     cfg.epsilon = epsilon;
     cfg.path = path;
+    cfg.histogram = histogram;
+    cfg.oversample = oversample;
     if (exchange_k > 0) {
       cfg.exchange = core::ExchangeAlgorithm::KAry;
       cfg.exchange_k = exchange_k;
@@ -291,10 +331,15 @@ int main(int argc, char** argv) {
     if (comm.rank() == 0) {
       std::cout << "sorted " << comm.size() << " x " << keys_per_rank
                 << " keys: " << (ok ? "globally sorted" : "FAILED") << "\n"
+                << "  histogram mode       : " << histogram_mode_name(histogram)
+                << " (oversample " << oversample << ")\n"
                 << "  histogram iterations : "
-                << stats.histogram_iterations << "\n"
+                << stats.histogram_iterations << " (" << stats.sampled_rounds
+                << " sampled)\n"
                 << "  splitter probes      : " << stats.splitter_probes
                 << "\n"
+                << "  histogram bytes      : " << stats.hist_bytes_sampled
+                << " sampled + " << stats.hist_bytes_dense << " dense\n"
                 << "  sent off-rank (r0)   : "
                 << stats.elements_sent_off_rank << " of "
                 << stats.elements_before << "\n";
@@ -324,7 +369,9 @@ int main(int argc, char** argv) {
           static_cast<u64>(ranks) * static_cast<u64>(keys_per_rank);
       led.config = {{"epsilon", std::to_string(epsilon)},
                     {"path", path == core::DataPath::Pull ? "pull" : "packed"},
-                    {"exchange_k", std::to_string(exchange_k)}};
+                    {"exchange_k", std::to_string(exchange_k)},
+                    {"histogram", histogram_mode_name(histogram)},
+                    {"oversample", std::to_string(oversample)}};
       led.scalars = {{"sim_makespan_s", team.stats().makespan_s}};
       obs::attach_features(led, team.cost());
       std::ofstream out(ledger_path);

@@ -28,6 +28,7 @@ Shape shape_of(obs::OpKind op) {
     case obs::OpKind::Alltoallv:
     case obs::OpKind::Split:
     case obs::OpKind::Agree:  // survivor agreement: full join over survivors
+    case obs::OpKind::SampleGather:  // every rank consumes every sample block
       return Shape::FullJoin;
     case obs::OpKind::Broadcast:
     case obs::OpKind::Gatherv:

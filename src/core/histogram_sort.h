@@ -60,6 +60,16 @@ struct SortConfig {
   LocalSortKernel kernel = LocalSortKernel::Auto;
   SplitterInit init = SplitterInit::MinMax;
   usize sample_per_rank = 16;  ///< only used with SplitterInit::Sampled
+  /// Histogramming strategy of the splitter search (PR 10): Dense is the
+  /// paper's probe-and-allreduce baseline; Sampled/Hybrid run HSS-style
+  /// sampled rounds first (replacing the SplitterInit phase, so `init` is
+  /// ignored for them) and Hybrid additionally interpolates dense probes
+  /// from the sampled CDF. All modes produce identical sorted output.
+  HistogramMode histogram = HistogramMode::Dense;
+  /// Oversampling factor of the sampled rounds (Sampled/Hybrid only): each
+  /// rank contributes ~(oversample + 2) * sqrt(#boundaries in segment)
+  /// systematically sampled keys per search segment per round.
+  usize oversample = 8;
   ExchangeAlgorithm exchange = ExchangeAlgorithm::Alltoallv;
   /// How superstep 3 moves payload bytes through the runtime (see
   /// core/exchange.h): Pull is the single-copy path, Packed the legacy
@@ -133,12 +143,19 @@ void superstep_splitters(runtime::Comm& comm, SortState<T, UK>& st,
   mcfg.epsilon = cfg.epsilon;
   mcfg.init = cfg.init;
   mcfg.sample_per_rank = cfg.sample_per_rank;
+  mcfg.histogram = cfg.histogram;
+  mcfg.oversample = cfg.oversample;
   st.splitters = find_splitters(
       comm, std::span<const T>(st.data.data(), st.data.size()), key,
       std::span<const usize>(targets), mcfg);
   st.stats.histogram_iterations = st.splitters.iterations;
   st.stats.splitter_probes = st.splitters.probes_total;
   st.stats.histogram_convergence = st.splitters.convergence;
+  st.stats.sampled_rounds = st.splitters.sampled_rounds;
+  st.stats.sample_keys_total = st.splitters.sample_keys_total;
+  st.stats.hist_bytes_sampled = st.splitters.hist_bytes_sampled;
+  st.stats.hist_bytes_dense = st.splitters.hist_bytes_dense;
+  st.stats.round_probes = st.splitters.round_probes;
 }
 
 /// Superstep 3 (SplittersReady -> Exchanged): permutation matrix + data
@@ -317,9 +334,17 @@ SortStats sort_resilient(runtime::Team& team,
     agg.elements_sent_off_rank += s.elements_sent_off_rank;
     agg.elements_before += s.elements_before;
     agg.elements_after += s.elements_after;
-    // The convergence series is a global quantity, identical on all ranks.
+    // Global quantities, identical on all ranks: convergence/probe series
+    // are copied once, scalar counters keep the max.
     if (agg.histogram_convergence.empty())
       agg.histogram_convergence = s.histogram_convergence;
+    agg.sampled_rounds = std::max(agg.sampled_rounds, s.sampled_rounds);
+    agg.sample_keys_total =
+        std::max(agg.sample_keys_total, s.sample_keys_total);
+    agg.hist_bytes_sampled =
+        std::max(agg.hist_bytes_sampled, s.hist_bytes_sampled);
+    agg.hist_bytes_dense = std::max(agg.hist_bytes_dense, s.hist_bytes_dense);
+    if (agg.round_probes.empty()) agg.round_probes = s.round_probes;
   }
   return agg;
 }
@@ -706,6 +731,13 @@ SortStats sort_resilient(runtime::Team& team,
     agg.elements_after += s.elements_after;
     if (agg.histogram_convergence.empty())
       agg.histogram_convergence = s.histogram_convergence;
+    agg.sampled_rounds = std::max(agg.sampled_rounds, s.sampled_rounds);
+    agg.sample_keys_total =
+        std::max(agg.sample_keys_total, s.sample_keys_total);
+    agg.hist_bytes_sampled =
+        std::max(agg.hist_bytes_sampled, s.hist_bytes_sampled);
+    agg.hist_bytes_dense = std::max(agg.hist_bytes_dense, s.hist_bytes_dense);
+    if (agg.round_probes.empty()) agg.round_probes = s.round_probes;
   }
   if (report) *report = rep;
   return agg;

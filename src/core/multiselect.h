@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "core/key_traits.h"
 #include "core/local_sort.h"
 #include "runtime/comm.h"
@@ -39,6 +40,23 @@ enum class SplitterInit : u8 {
   Sampled,
 };
 
+/// Histogramming strategy of the splitter search (PR 10).
+enum class HistogramMode : u8 {
+  /// Every round probes candidate keys and counts them exactly with one
+  /// dense (lb, ub) allreduce — the paper's Alg. 2/3 baseline.
+  Dense,
+  /// HSS-style sampled rounds first: each round pools a seeded per-rank
+  /// sample of the still-unresolved key range via a sparse gather and
+  /// shrinks every boundary's bracket from the weighted sample CDF; plain
+  /// dense bisection then finishes inside the narrowed brackets.
+  Sampled,
+  /// Sampled rounds plus interpolation-guided dense refinement that reuses
+  /// the sample-CDF anchors — the PR 10 default candidate. Falls back to
+  /// strict midpoint bisection per boundary when interpolation stalls, so
+  /// worst-case round counts stay within ~2x of Dense.
+  Hybrid,
+};
+
 struct MultiselectConfig {
   /// Load-balance threshold epsilon of Def. 1; 0 = perfect partitioning.
   double epsilon = 0.0;
@@ -47,6 +65,20 @@ struct MultiselectConfig {
   usize sample_per_rank = 16;
   /// Safety cap on histogram rounds; 0 = automatic (4 * key bits + 16).
   usize max_iterations = 0;
+  /// Histogramming strategy. Sampled/Hybrid replace the SplitterInit phase
+  /// with full sampled rounds, so `init` is ignored for those modes.
+  HistogramMode histogram = HistogramMode::Dense;
+  /// Oversampling factor of the sampled rounds (Sampled/Hybrid only): each
+  /// rank contributes ~(oversample + 2) * sqrt(#boundaries in segment)
+  /// systematically sampled keys per search segment per round.
+  usize oversample = 8;
+  /// Cap on sampled rounds before dense refinement takes over; rounds also
+  /// stop early once the sampled CDF stops concentrating the brackets, so
+  /// the cap only bites on smoothly-converging inputs.
+  usize max_sampled_rounds = 8;
+  /// Seed of the per-(rank, round) sample-position jitter. Must be
+  /// identical on all ranks (the pooled sample is decoded redundantly).
+  u64 sample_seed = 0x9e3779b9;
 };
 
 /// Result of find_splitters. All vectors are indexed by boundary
@@ -67,6 +99,15 @@ struct SplitterResult {
   /// |achieved - target| / N (0.0 in the round that resolves the last
   /// boundary) — the convergence curve behind the paper's Table 3.
   std::vector<double> convergence;
+  // Hybrid histogramming accounting (PR 10). Sampled rounds count toward
+  // `iterations` but not `probes_total` (they probe no candidate keys).
+  usize sampled_rounds = 0;      ///< sampled-histogram rounds executed
+  usize sample_keys_total = 0;   ///< sample keys pooled over sampled rounds
+  usize hist_bytes_sampled = 0;  ///< bytes gathered by sampled rounds
+  usize hist_bytes_dense = 0;    ///< bytes allreduced by dense rounds
+  /// Per-round probe volume, parallel to `convergence`: pooled sample keys
+  /// for a sampled round, probed candidate splitters for a dense round.
+  std::vector<u32> round_probes;
 };
 
 namespace detail {
@@ -81,8 +122,25 @@ struct BoundarySearch {
   bool resolved = false;
   bool lo_verified = true;   ///< f(cand_lo - 1) < K known to hold
   bool hi_verified = true;   ///< f(cand_hi) >= K known to hold
-  double sample_q = -1.0;    ///< sample-space quantile (Sampled init only)
+  double sample_q = -1.0;    ///< sample-space quantile (sampled brackets)
   u32 expands = 0;           ///< galloping bracket expansions so far
+  // Hybrid interpolation state (PR 10): a pair of rank anchors straddling
+  // the target, seeded from the sampled CDF and tightened to exact counts
+  // by every dense probe. Invariant while both exist: ra_lo < K <= ra_hi.
+  UK ka_lo = 0;              ///< low anchor key
+  UK ka_hi = 0;              ///< high anchor key
+  double ra_lo = 0.0;        ///< (estimated) rank at/below ka_lo
+  double ra_hi = 0.0;        ///< (estimated) rank just below ka_hi
+  bool has_lo = false;       ///< low anchor seeded
+  bool has_hi = false;       ///< high anchor seeded
+  bool lo_exact = false;     ///< ra_lo came from a dense probe, not the CDF
+  bool hi_exact = false;     ///< ra_hi came from a dense probe, not the CDF
+  bool force_hi = false;     ///< next probe jumps to cand_hi (empty gap)
+  u32 penalty = 0;           ///< interpolation misses; >= 2 locks midpoint
+  UK last_probe = 0;         ///< previous probe (repeat guard)
+  bool has_last = false;
+  bool last_was_interp = false;
+  usize last_miss = std::numeric_limits<usize>::max();
 };
 
 }  // namespace detail
@@ -176,7 +234,8 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
   // bad bracket costs a handful of rounds, not a full re-bisection.
   std::vector<UK> sample_u;
   double spread = 0.0;
-  if (cfg.init == SplitterInit::Sampled && !active.empty() && N > 0) {
+  if (cfg.histogram == HistogramMode::Dense &&
+      cfg.init == SplitterInit::Sampled && !active.empty() && N > 0) {
     std::vector<K> my_sample;
     const usize s_n = std::min(cfg.sample_per_rank, n_local);
     for (usize i = 0; i < s_n; ++i) {
@@ -260,6 +319,403 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
     }
   };
 
+  // --- sampled rounds (PR 10, Sampled / Hybrid) ----------------------------
+  // Each round pools a seeded per-rank sample of the union of the active
+  // brackets through one sparse SampleGather. Exact below-range / in-range
+  // counts ride along with the keys, so the pooled CDF is exact outside the
+  // sampled range and only the in-range interpolation carries sampling
+  // error — which the slack term absorbs before a bracket is trusted.
+  // Sampled brackets are unverified; the same gallop repair as Sampled init
+  // widens them through the pooled sample if a dense round disproves one.
+  const bool hybrid = cfg.histogram == HistogramMode::Hybrid;
+  if (cfg.histogram != HistogramMode::Dense && !active.empty() &&
+      gmin < gmax) {
+    struct WeightedKey {
+      u64 key;
+      double weight;
+    };
+    // A maximal run of overlapping active brackets, sampled as one unit.
+    // Sampling per segment — not the contiguous hull of all brackets — is
+    // what makes successive rounds concentrate: round k's samples land only
+    // inside key ranges still unresolved after round k-1, so the effective
+    // per-boundary resolution multiplies round over round instead of
+    // staying pinned at whole-range resolution.
+    struct Segment {
+      UK lo, hi;       ///< inclusive key range of the merged brackets
+      usize nb;        ///< active boundaries inside (drives sample budget)
+      double c_below;  ///< exact global #keys < lo (rides the gather)
+      double w;        ///< exact global #keys in [lo, hi]
+      double wmax;     ///< heaviest pooled sample weight
+      double slack;    ///< rank slack before a sample position is trusted
+      usize s_off;     ///< this segment's pool offset in samp / est_le
+      usize s_n;       ///< pooled sample keys of this segment
+    };
+    std::vector<Segment> segs;
+    std::vector<usize> seg_of;  // position in `active` -> segment index
+    std::vector<u32> idx;
+    std::vector<u64> contrib;
+    std::vector<std::vector<WeightedKey>> pools;
+    std::vector<WeightedKey> samp;  // per-segment pools, concatenated
+    std::vector<double> est_le;     // weighted CDF, aligned with samp
+    double prev_mass = std::numeric_limits<double>::max();
+    // Per-rank, per-segment sample budget. Scaling with sqrt(boundaries)
+    // rather than linearly keeps the early hull rounds (one segment
+    // covering many boundaries, where evenly spread samples serve them all
+    // at once) from gathering far more keys than the CDF resolution needs,
+    // while a segment holding a single boundary still gets the full
+    // oversample.
+    const auto seg_budget = [&](usize nb) {
+      return (cfg.oversample + 2) *
+             static_cast<usize>(
+                 std::ceil(std::sqrt(static_cast<double>(nb))));
+    };
+    for (usize round = 0;
+         round < cfg.max_sampled_rounds && !active.empty(); ++round) {
+      // Merge the active brackets into disjoint segments — identical on
+      // every rank, because the brackets are replicated search state.
+      segs.clear();
+      seg_of.assign(active.size(), 0);
+      idx.resize(active.size());
+      for (usize i = 0; i < active.size(); ++i) idx[i] = static_cast<u32>(i);
+      std::sort(idx.begin(), idx.end(), [&](u32 x, u32 y) {
+        return search[active[x]].cand_lo < search[active[y]].cand_lo;
+      });
+      for (u32 i : idx) {
+        const auto& s = search[active[i]];
+        if (!segs.empty() && s.cand_lo <= segs.back().hi) {
+          segs.back().hi = std::max(segs.back().hi, s.cand_hi);
+          ++segs.back().nb;
+        } else {
+          segs.push_back({s.cand_lo, s.cand_hi, 1, 0, 0, 0, 0, 0, 0});
+        }
+        seg_of[i] = segs.size() - 1;
+      }
+
+      // Local block, segment-major: [keys below lo, keys in [lo, hi],
+      // sampled keys...] per segment. The sample count is min(keys in
+      // range, (oversample + 2) * boundaries-in-segment) — derivable by
+      // every receiver from the replicated budget, so it does not travel.
+      const T* base = sorted_local.data();
+      contrib.clear();
+      Xoshiro256 rng(hash_mix(
+          cfg.sample_seed,
+          (static_cast<u64>(comm.rank()) << 8) | static_cast<u64>(round)));
+      usize scan = 0;  // segments ascend, so searches narrow monotonically
+      for (const Segment& g : segs) {
+        const usize i0 = static_cast<usize>(
+            std::lower_bound(base + scan, base + n_local, g.lo,
+                             [&](const T& e, UK v) {
+                               return Traits::to_uint(key(e)) < v;
+                             }) -
+            base);
+        const usize i1 = static_cast<usize>(
+            std::upper_bound(base + i0, base + n_local, g.hi,
+                             [&](UK v, const T& e) {
+                               return v < Traits::to_uint(key(e));
+                             }) -
+            base);
+        scan = i1;
+        const usize n_in = i1 - i0;
+        const usize s_n = std::min(n_in, seg_budget(g.nb));
+        contrib.push_back(static_cast<u64>(i0));
+        contrib.push_back(static_cast<u64>(n_in));
+        // Systematic sampling: position j lands uniformly inside stratum j
+        // (deterministic per-(rank, round) jitter), which makes the
+        // mid-weight CDF estimator on the receive side unbiased. Forcing
+        // the range extremes in would skew it — and the segment edges
+        // already carry exact ranks through i0 / n_in. Positions are kept
+        // strictly increasing so full-budget coverage degenerates to the
+        // exact per-key histogram of the segment.
+        if (s_n >= 1) {
+          const double stride =
+              static_cast<double>(n_in) / static_cast<double>(s_n);
+          usize prev = 0;
+          for (usize j = 0; j < s_n; ++j) {
+            usize pos = static_cast<usize>(
+                (static_cast<double>(j) + rng.uniform01()) * stride);
+            pos = std::clamp(pos, prev, n_in - s_n + j);
+            prev = pos + 1;
+            contrib.push_back(static_cast<u64>(
+                Traits::to_uint(key(sorted_local[i0 + pos]))));
+          }
+        }
+      }
+      comm.charge_batched_search(n_local, 2 * segs.size());
+      comm.charge_control_scan(contrib.size());
+
+      std::vector<usize> counts;
+      const std::vector<u64> pooled =
+          comm.sample_gatherv(std::span<const u64>(contrib), &counts);
+      ++res.iterations;
+      ++res.sampled_rounds;
+      res.hist_bytes_sampled += pooled.size() * sizeof(u64);
+
+      // Decode (identically on every rank): exact per-segment global
+      // counts plus the weighted key pools. Each key from rank r carries
+      // weight n_in_r / s_n_r — the rank mass it represents.
+      pools.assign(segs.size(), {});
+      double w_total = 0.0;
+      usize off = 0;
+      for (int r = 0; r < P; ++r) {
+        const usize block_end = off + counts[static_cast<usize>(r)];
+        for (Segment& g : segs) {
+          const u64 n_in = pooled[off + 1];
+          const usize s_n =
+              std::min(static_cast<usize>(n_in), seg_budget(g.nb));
+          g.c_below += static_cast<double>(pooled[off]);
+          g.w += static_cast<double>(n_in);
+          const double w =
+              s_n ? static_cast<double>(n_in) / static_cast<double>(s_n)
+                  : 0.0;
+          auto& pg = pools[&g - segs.data()];
+          for (usize j = 0; j < s_n; ++j)
+            pg.push_back({pooled[off + 2 + j], w});
+          off += 2 + s_n;
+        }
+        HDS_CHECK_MSG(off == block_end,
+                      "sampled-round block of rank " << r << " mis-sized");
+      }
+      for (const Segment& g : segs) w_total += g.w;
+
+      // Concatenate the per-segment pools (disjoint ascending segments, so
+      // the concatenation is globally sorted) and build the weighted CDF
+      // anchored at each segment's exact below-count.
+      usize total_s = 0;
+      for (usize gi = 0; gi < segs.size(); ++gi) {
+        std::sort(pools[gi].begin(), pools[gi].end(),
+                  [](const WeightedKey& a, const WeightedKey& b) {
+                    return a.key < b.key;
+                  });
+        segs[gi].s_off = total_s;
+        segs[gi].s_n = pools[gi].size();
+        total_s += pools[gi].size();
+      }
+      samp.clear();
+      samp.reserve(total_s);
+      est_le.resize(total_s);
+      for (Segment& g : segs) {
+        double acc = g.c_below;
+        for (const WeightedKey& wk : pools[&g - segs.data()]) {
+          samp.push_back(wk);
+          acc += wk.weight;
+          // Mid-weight estimate of #keys <= sample: the sample sits
+          // uniformly inside its stratum, so crediting half its weight is
+          // unbiased (full weight would run up to one stratum high per
+          // rank — a bias that adds coherently across ranks and would
+          // swamp the slack). At full coverage (weight 1) this is the
+          // exact rank minus 1/2.
+          est_le[samp.size() - 1] = acc - 0.5 * wk.weight;
+          g.wmax = std::max(g.wmax, wk.weight);
+        }
+        // Rank slack before a sample position is trusted as a bracket end:
+        // one full per-key weight (position-within-weight uncertainty)
+        // plus a ~7-sigma CDF error term. The samples are stratified — each
+        // rank contributes evenly spaced positions of its sorted run, so
+        // per-rank CDF error is bounded by one stratum (~w/S) and the
+        // pooled error scales with sqrt(P) strata, not the sqrt(S) an iid
+        // sample would need. The rare tail beyond the slack is what the
+        // gallop bracket repair is for.
+        g.slack = g.s_n
+                      ? g.wmax + 2.0 * std::sqrt(static_cast<double>(P)) *
+                                     (g.w / static_cast<double>(g.s_n))
+                      : 0.0;
+      }
+      comm.charge_control_sort(total_s);
+      comm.charge_control_scan(total_s + active.size());
+      res.sample_keys_total += total_s;
+      res.round_probes.push_back(static_cast<u32>(total_s));
+      if (total_s < 2 || w_total <= 0.0) {
+        // Degenerate pool: (almost) nothing left in range — the dense phase
+        // resolves the remaining tie mass.
+        const double err = w_total / (2.0 * static_cast<double>(N));
+        res.convergence.push_back(err);
+        comm.metrics().append(obs::Series::HistogramConvergence, err);
+        break;
+      }
+
+      // Refresh the gallop repair pool before installing unverified
+      // brackets from this sample.
+      sample_u.clear();
+      sample_u.reserve(total_s);
+      for (const WeightedKey& wk : samp)
+        sample_u.push_back(static_cast<UK>(wk.key));
+      // Gallop step in sample positions ~ the slack expressed in per-key
+      // weights. The pool is concentrated around the unresolved brackets,
+      // so a repair jump must stay segment-local — a step scaled to the
+      // whole pool size would hop across unrelated boundaries' samples.
+      spread = 2.0 + 2.0 * std::sqrt(static_cast<double>(P));
+
+      double mass = 0.0;
+      double round_err = 0.0;
+      for (usize i = 0; i < active.size(); ++i) {
+        auto& s = search[active[i]];
+        const Segment& g = segs[seg_of[i]];
+        const double kt = static_cast<double>(s.target);
+        const double le_hi = g.c_below + g.w;  // exact #keys <= g.hi
+        if (g.s_n == 0) {
+          // Nothing sampled here (empty range): the dense phase sorts it
+          // out; count the unshrunk bracket toward the stall detector.
+          mass += g.w;
+          round_err = std::max(
+              round_err, g.w / (2.0 * static_cast<double>(N)));
+          continue;
+        }
+        const double* e0 = est_le.data() + g.s_off;
+        const WeightedKey* k0 = samp.data() + g.s_off;
+        // The below / in-range counts ride the gather exactly, so a target
+        // outside (c_below, c_below + w] disproves the bracket outright —
+        // an earlier slack-guarded shrink lost the splitter (the rare tail
+        // beyond the slack). Reopen the failing side; the exact edge rank
+        // seeds the interpolation anchor for the jump back out.
+        if (kt <= g.c_below || kt > le_hi) {
+          if (kt <= g.c_below) {
+            s.cand_lo = gmin;
+            s.lo_verified = true;
+            if (hybrid && g.lo > std::numeric_limits<UK>::min()) {
+              s.ka_hi = static_cast<UK>(g.lo - 1);
+              s.ra_hi = g.c_below;
+              s.has_hi = true;
+              s.hi_exact = true;
+            }
+          } else {
+            s.cand_hi = gmax;
+            s.hi_verified = true;
+            if (hybrid) {
+              s.ka_lo = g.hi;
+              s.ra_lo = le_hi;
+              s.has_lo = true;
+              s.lo_exact = true;
+            }
+          }
+          mass += g.w;
+          round_err = std::max(
+              round_err, g.w / (2.0 * static_cast<double>(N)));
+          continue;
+        }
+        // cross = first sample position whose estimated rank reaches the
+        // target; the raw crossing seeds the interpolation anchors (no
+        // safety margin needed — bad anchors only misdirect probes, and the
+        // penalty counter catches that), while bracket shrinks below are
+        // slack-guarded because a wrong bracket costs gallop rounds. The
+        // half-key shift makes the full-coverage case land on the key
+        // whose tie class spans the target rank (est == rank - 1/2 there).
+        const usize cross = static_cast<usize>(
+            std::lower_bound(e0, e0 + g.s_n, kt - 0.5) - e0);
+        // Full coverage: every in-range key of every rank fit the budget,
+        // so the pooled CDF is the exact histogram of the segment and the
+        // crossing key is the exact splitter — collapse the bracket to it
+        // and let the next dense round confirm with exact global counts.
+        // (At eps == 0 this is the same unique key value every mode must
+        // land on: the one whose tie class spans the target rank.)
+        if (static_cast<double>(g.s_n) == g.w && cross < g.s_n) {
+          const UK k = static_cast<UK>(k0[cross].key);
+          if (k >= s.cand_lo && k <= s.cand_hi) {
+            s.cand_lo = s.cand_hi = k;
+            s.lo_verified = s.hi_verified = true;
+            s.expands = 0;
+            s.sample_q = static_cast<double>(g.s_off + cross);
+            continue;
+          }
+        }
+        // Heavy tie class straddling the target: the crossing key's tie
+        // run alone accounts for the target rank with slack to spare on
+        // both sides, so it must be the splitter (Def. 4 places the
+        // boundary inside its tie run). Collapse without waiting for full
+        // coverage — for few-distinct inputs this is the common case, and
+        // the value-space bisection it replaces is the dense phase's worst
+        // case.
+        if (cross < g.s_n) {
+          usize run_lo = cross;
+          while (run_lo > 0 && k0[run_lo - 1].key == k0[cross].key)
+            --run_lo;
+          usize run_hi = cross;
+          while (run_hi + 1 < g.s_n && k0[run_hi + 1].key == k0[cross].key)
+            ++run_hi;
+          // #keys < k: exact when the run opens the segment, estimated
+          // with slack otherwise; #keys <= k: always estimated with slack.
+          const double below = run_lo ? e0[run_lo - 1] : g.c_below;
+          const bool below_ok =
+              run_lo ? below + g.slack < kt : below < kt;
+          if (below_ok && e0[run_hi] - g.slack >= kt) {
+            const UK k = static_cast<UK>(k0[cross].key);
+            if (k >= s.cand_lo && k <= s.cand_hi) {
+              s.cand_lo = s.cand_hi = k;
+              s.lo_verified = s.hi_verified = true;
+              s.expands = 0;
+              s.sample_q = static_cast<double>(g.s_off + cross);
+              continue;
+            }
+          }
+        }
+        if (hybrid) {
+          if (cross > 0) {
+            s.ka_lo = static_cast<UK>(k0[cross - 1].key);
+            s.ra_lo = e0[cross - 1];
+            s.has_lo = true;
+            s.lo_exact = false;
+          } else if (g.lo > std::numeric_limits<UK>::min()) {
+            // Target at or below the first sample: the segment's lower edge
+            // carries an exact rank (#keys < lo rode the gather).
+            s.ka_lo = static_cast<UK>(g.lo - 1);
+            s.ra_lo = g.c_below;
+            s.has_lo = true;
+            s.lo_exact = true;
+          }
+          if (cross < g.s_n) {
+            s.ka_hi = static_cast<UK>(k0[cross].key);
+            s.ra_hi = e0[cross];
+            s.has_hi = true;
+            s.hi_exact = false;
+          } else {
+            s.ka_hi = g.hi;
+            s.ra_hi = le_hi;
+            s.has_hi = true;
+            s.hi_exact = true;
+          }
+        }
+        s.expands = 0;
+        s.sample_q = static_cast<double>(g.s_off +
+                                         std::min(cross, g.s_n - 1));
+        usize lo = cross;
+        while (lo > 0 && e0[lo - 1] + g.slack >= kt) --lo;
+        const bool lo_safe = lo > 0;  // position lo-1 is safely below
+        usize hi = cross;
+        while (hi < g.s_n && e0[hi] - g.slack < kt) ++hi;
+        const bool hi_safe = hi < g.s_n;
+        if (lo_safe) {
+          const UK k = static_cast<UK>(k0[lo - 1].key);
+          if (k > s.cand_lo && k <= s.cand_hi) {
+            s.cand_lo = k;
+            s.lo_verified = false;
+          }
+        }
+        if (hi_safe) {
+          const UK k = static_cast<UK>(k0[hi].key);
+          if (k < s.cand_hi && k >= s.cand_lo) {
+            s.cand_hi = k;
+            s.hi_verified = false;
+          }
+        }
+        const double lo_est = lo_safe ? e0[lo - 1] : g.c_below;
+        const double hi_est = hi_safe ? e0[hi] : le_hi;
+        const double width = std::max(0.0, hi_est - lo_est);
+        mass += width;
+        round_err = std::max(
+            round_err, width / (2.0 * static_cast<double>(N)));
+      }
+      res.convergence.push_back(round_err);
+      comm.metrics().append(obs::Series::HistogramConvergence, round_err);
+      // Stop sampling once the brackets stop concentrating (heavy tie
+      // classes pin the slack at wmax — more samples cannot split a tie)
+      // or once they are already down to per-key resolution; the dense
+      // phase finishes either way.
+      if (mass * 2.0 >= prev_mass ||
+          mass <= static_cast<double>(active.size()))
+        break;
+      prev_mass = mass;
+    }
+  }
+
   const usize max_iter = cfg.max_iterations
                              ? cfg.max_iterations
                              : 4 * static_cast<usize>(Traits::key_bits) + 16;
@@ -284,8 +740,41 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
     // successively narrowed subrange instead of running two independent
     // full-width binary searches per probe.
     probes.clear();
-    for (usize b : active)
-      probes.push_back(key_midpoint(search[b].cand_lo, search[b].cand_hi));
+    for (usize b : active) {
+      auto& s = search[b];
+      UK probe = key_midpoint(s.cand_lo, s.cand_hi);
+      bool interp = false;
+      if (hybrid) {
+        if (s.force_hi) {
+          // An empty key gap was detected below: interpolation would land
+          // in the same plateau again, so jump to the bracket's upper end.
+          probe = s.cand_hi;
+          s.force_hi = false;
+        } else if (s.penalty < 2 && s.has_lo && s.has_hi &&
+                   s.ka_lo < s.ka_hi &&
+                   s.ra_lo < static_cast<double>(s.target) &&
+                   s.ra_hi > s.ra_lo) {
+          // Interpolation-search probe between the rank anchors, clamped
+          // into the verified bracket; repeat probes degrade to midpoint.
+          const double frac =
+              std::clamp((static_cast<double>(s.target) - s.ra_lo) /
+                             (s.ra_hi - s.ra_lo),
+                         0.0, 1.0);
+          const double span = static_cast<double>(s.ka_hi - s.ka_lo);
+          const UK cand = std::clamp(
+              static_cast<UK>(s.ka_lo + static_cast<UK>(span * frac)),
+              s.cand_lo, s.cand_hi);
+          if (!(s.has_last && cand == s.last_probe)) {
+            probe = cand;
+            interp = true;
+          }
+        }
+      }
+      s.last_was_interp = interp;
+      s.last_probe = probe;
+      s.has_last = true;
+      probes.push_back(probe);
+    }
     const usize A = active.size();
     order.resize(A);
     for (usize i = 0; i < A; ++i) order[i] = static_cast<u32>(i);
@@ -303,6 +792,8 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
       hist[2 * order[j] + 1] = ub_s[j];
     }
     res.probes_total += A;
+    res.round_probes.push_back(static_cast<u32>(A));
+    res.hist_bytes_dense += 2 * A * sizeof(u64);
     comm.charge_control_sort(A);
     comm.charge_batched_search(n_local, 2 * A);
 
@@ -342,10 +833,24 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
       const usize miss = (L >= KT + window) ? L - KT : KT - U;
       round_err = std::max(
           round_err, static_cast<double>(miss) / static_cast<double>(N));
+      if (hybrid && s.last_was_interp) {
+        // Interpolation must keep (at least) halving the rank miss; two
+        // failures permanently lock this boundary to strict midpoint
+        // bisection. The penalty is sticky on purpose — letting a key
+        // distribution that defeats interpolation (plateaus, heavy ties)
+        // earn the probe back after one lucky round costs ~2x the
+        // bisection rounds in the worst case.
+        if (miss * 2 > s.last_miss) ++s.penalty;
+      }
+      s.last_miss = miss;
       if (L >= KT + window) {
         // Too many keys below the probe: move the upper bound down.
         s.cand_hi = probe;
         s.hi_verified = true;
+        s.ka_hi = probe;
+        s.ra_hi = static_cast<double>(L);
+        s.hi_exact = true;
+        s.has_hi = true;
         if (!s.lo_verified && probe <= s.cand_lo) {
           // Sampled bracket was wrong on the low side: gallop outward.
           expand_lo(s, probe);
@@ -356,6 +861,18 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
           // Sampled bracket was wrong on the high side: gallop outward.
           expand_hi(s, probe);
         }
+        if (hybrid && s.lo_exact && s.has_lo &&
+            static_cast<double>(U) == s.ra_lo && probe > s.ka_lo) {
+          // f(<= probe) did not move past the previous exact low anchor:
+          // the whole gap (ka_lo, probe] holds no keys, so interpolation
+          // would stall inside this plateau — probe the bracket's upper
+          // end next round instead.
+          s.force_hi = true;
+        }
+        s.ka_lo = probe;
+        s.ra_lo = static_cast<double>(U);
+        s.lo_exact = true;
+        s.has_lo = true;
         s.cand_lo = (probe == std::numeric_limits<UK>::max())
                         ? probe
                         : static_cast<UK>(probe + 1);
@@ -371,6 +888,11 @@ auto find_splitters(runtime::Comm& comm, std::span<const T> sorted_local,
   }
   comm.metrics().add(obs::Counter::HistogramIterations, res.iterations);
   comm.metrics().add(obs::Counter::SplitterProbes, res.probes_total);
+  comm.metrics().add(obs::Counter::SampledRounds, res.sampled_rounds);
+  comm.metrics().add(obs::Counter::SampleKeysGathered, res.sample_keys_total);
+  comm.metrics().add(obs::Counter::HistogramBytesSampled,
+                     res.hist_bytes_sampled);
+  comm.metrics().add(obs::Counter::HistogramBytesDense, res.hist_bytes_dense);
 
   // Boundaries must be non-decreasing for the exchange to produce
   // contiguous send ranges (ties were resolved toward their targets).

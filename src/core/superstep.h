@@ -66,6 +66,16 @@ struct SortStats {
   /// convergence curve of the paper's Table 3 be plotted, not just the
   /// final iteration count.
   std::vector<double> histogram_convergence;
+  // Hybrid histogramming accounting (PR 10), mirrored from SplitterResult:
+  // sampled rounds executed, sample keys pooled, and histogram traffic
+  // split into sampled-gather vs dense-allreduce bytes.
+  usize sampled_rounds = 0;
+  usize sample_keys_total = 0;
+  usize hist_bytes_sampled = 0;
+  usize hist_bytes_dense = 0;
+  /// Per-round probe volume (sample keys or dense probes), parallel to
+  /// histogram_convergence.
+  std::vector<u32> round_probes;
 };
 
 /// Per-rank sort state at a superstep boundary. UK is the unsigned key
@@ -155,6 +165,11 @@ std::vector<std::byte> serialize_state(const SortState<T, UK>& st) {
   put_pod<u64>(out, static_cast<u64>(st.splitters.iterations));
   put_pod<u64>(out, static_cast<u64>(st.splitters.probes_total));
   put_vec(out, st.splitters.convergence);
+  put_pod<u64>(out, static_cast<u64>(st.splitters.sampled_rounds));
+  put_pod<u64>(out, static_cast<u64>(st.splitters.sample_keys_total));
+  put_pod<u64>(out, static_cast<u64>(st.splitters.hist_bytes_sampled));
+  put_pod<u64>(out, static_cast<u64>(st.splitters.hist_bytes_dense));
+  put_vec(out, st.splitters.round_probes);
   put_vec(out, st.recv_counts);
   put_pod<u64>(out, static_cast<u64>(st.stats.histogram_iterations));
   put_pod<u64>(out, static_cast<u64>(st.stats.splitter_probes));
@@ -162,6 +177,11 @@ std::vector<std::byte> serialize_state(const SortState<T, UK>& st) {
   put_pod<u64>(out, static_cast<u64>(st.stats.elements_before));
   put_pod<u64>(out, static_cast<u64>(st.stats.elements_after));
   put_vec(out, st.stats.histogram_convergence);
+  put_pod<u64>(out, static_cast<u64>(st.stats.sampled_rounds));
+  put_pod<u64>(out, static_cast<u64>(st.stats.sample_keys_total));
+  put_pod<u64>(out, static_cast<u64>(st.stats.hist_bytes_sampled));
+  put_pod<u64>(out, static_cast<u64>(st.stats.hist_bytes_dense));
+  put_vec(out, st.stats.round_probes);
   return out;
 }
 
@@ -184,6 +204,11 @@ SortState<T, UK> deserialize_state(std::span<const std::byte> blob) {
   st.splitters.iterations = static_cast<usize>(r.get_pod<u64>());
   st.splitters.probes_total = static_cast<usize>(r.get_pod<u64>());
   st.splitters.convergence = r.get_vec<double>();
+  st.splitters.sampled_rounds = static_cast<usize>(r.get_pod<u64>());
+  st.splitters.sample_keys_total = static_cast<usize>(r.get_pod<u64>());
+  st.splitters.hist_bytes_sampled = static_cast<usize>(r.get_pod<u64>());
+  st.splitters.hist_bytes_dense = static_cast<usize>(r.get_pod<u64>());
+  st.splitters.round_probes = r.get_vec<u32>();
   st.recv_counts = r.get_vec<usize>();
   st.stats.histogram_iterations = static_cast<usize>(r.get_pod<u64>());
   st.stats.splitter_probes = static_cast<usize>(r.get_pod<u64>());
@@ -191,6 +216,11 @@ SortState<T, UK> deserialize_state(std::span<const std::byte> blob) {
   st.stats.elements_before = static_cast<usize>(r.get_pod<u64>());
   st.stats.elements_after = static_cast<usize>(r.get_pod<u64>());
   st.stats.histogram_convergence = r.get_vec<double>();
+  st.stats.sampled_rounds = static_cast<usize>(r.get_pod<u64>());
+  st.stats.sample_keys_total = static_cast<usize>(r.get_pod<u64>());
+  st.stats.hist_bytes_sampled = static_cast<usize>(r.get_pod<u64>());
+  st.stats.hist_bytes_dense = static_cast<usize>(r.get_pod<u64>());
+  st.stats.round_probes = r.get_vec<u32>();
   HDS_CHECK_MSG(r.off == blob.size(),
                 "checkpoint blob has " << blob.size() - r.off
                                        << " trailing bytes");

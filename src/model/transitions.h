@@ -40,6 +40,7 @@ constexpr Transition transition_of(obs::OpKind op) {
     case obs::OpKind::Compute: return Transition::Local;
     case obs::OpKind::Agree: return Transition::Rendezvous;
     case obs::OpKind::Checkpoint: return Transition::Transfer;
+    case obs::OpKind::SampleGather: return Transition::Collective;
   }
   return Transition::Local;
 }

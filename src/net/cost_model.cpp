@@ -88,6 +88,12 @@ double CostModel::scan(int P, int nodes_spanned, usize bytes,
   return b.alpha + b.stages * m * b.inv_bw;
 }
 
+double CostModel::sample_gather(int P, int nodes_spanned,
+                                usize bytes_per_rank_max) const {
+  return allgather(P, nodes_spanned, bytes_per_rank_max, Traffic::Control) +
+         machine_.sample_round_overhead_s;
+}
+
 double CostModel::alltoall(int P, int nodes_spanned, usize bytes_per_pair,
                            Traffic t) const {
   const Blend b = blend(P, nodes_spanned);

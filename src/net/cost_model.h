@@ -67,6 +67,13 @@ class CostModel {
   double alltoall(int P, int nodes_spanned, usize bytes_per_pair,
                   Traffic t) const;
 
+  /// One sampled-histogram gather round of the hybrid splitter search
+  /// (PR 10): an allgatherv of the per-rank sample blocks — control
+  /// traffic, gated by the largest single contribution like allgatherv —
+  /// plus the machine's fixed per-round sampling overhead.
+  double sample_gather(int P, int nodes_spanned,
+                       usize bytes_per_rank_max) const;
+
   /// Irregular all-to-allv. `bytes[src * P + dst]` is the matrix of bytes
   /// sent from member src to member dst; `members[i]` is the global rank of
   /// member i (for node/NUMA placement). Models per-rank send/recv

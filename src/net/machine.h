@@ -64,6 +64,13 @@ struct MachineModel {
   double partition_s_per_elem = 0.8e-9;   ///< 3-way partition pass
   double scan_s_per_elem = 0.35e-9;       ///< linear scan / accumulate
   double binsearch_s_per_step = 2.2e-9;   ///< one binary-search bisection step
+  /// Fixed software overhead per sampled-histogram round of the hybrid
+  /// splitter search (PR 10): assembling the variable-size sample blocks
+  /// and registering the sparse gather, beyond the allgatherv wire cost and
+  /// the charged draw/sort/scan compute. Keeps a sampled round honestly
+  /// more expensive than one dense allreduce round at small P, so the
+  /// hybrid's win has to come from doing fewer rounds, not free sampling.
+  double sample_round_overhead_s = 2.0e-6;
 
   /// When true, collectives between ranks of the same node are charged with
   /// shared-memory constants instead of NIC constants (the DASH PGAS

@@ -45,6 +45,13 @@ enum class OpKind : u32 {
   /// Superstep-boundary checkpoint: snapshot of a rank's compact sort state
   /// replicated to its buddy rank.
   Checkpoint,
+  // Hybrid histogramming (PR 10). Appended after Checkpoint so existing op
+  // ids keep their numeric values.
+  /// Sparse sampled-histogram gather of the hybrid splitter search: each
+  /// rank contributes its sampled keys plus exact below/in-range counts for
+  /// the unresolved key range, concatenated on every rank. Gather-shaped
+  /// (and charged as such), so it shares OpClass::Gather with Allgatherv.
+  SampleGather,
 };
 
 /// Cost-model class of an op: which analytic formula family the runtime
@@ -97,7 +104,8 @@ constexpr OpClass op_class_of(OpKind op) {
     case OpKind::Split: return OpClass::Tree;
     case OpKind::Allgather:
     case OpKind::Allgatherv:
-    case OpKind::Gatherv: return OpClass::Gather;
+    case OpKind::Gatherv:
+    case OpKind::SampleGather: return OpClass::Gather;
     case OpKind::Alltoall:
     case OpKind::Alltoallv: return OpClass::Alltoall;
     case OpKind::Send: return OpClass::Send;
@@ -128,6 +136,7 @@ constexpr std::string_view op_kind_name(OpKind op) {
     case OpKind::Compute: return "compute";
     case OpKind::Agree: return "Agree";
     case OpKind::Checkpoint: return "Checkpoint";
+    case OpKind::SampleGather: return "SampleGather";
   }
   return "?";
 }

@@ -30,8 +30,16 @@ enum class Counter : u8 {
   CheckpointCount,      ///< superstep-boundary checkpoints taken
   SuperstepsExecuted,   ///< sort supersteps this rank actually ran
   RecoveryCount,        ///< failure-recovery rounds this rank participated in
+  // Hybrid histogramming counters (PR 10).
+  SampledRounds,        ///< sampled-histogram rounds of the splitter search
+  SampleKeysGathered,   ///< sample keys pooled across all sampled rounds
+  /// Histogram-phase control bytes moved by sampled gathers (the pooled
+  /// sample blocks). Split from the dense bytes so the sampled-vs-dense
+  /// traffic trade-off of the hybrid mode is directly visible per run.
+  HistogramBytesSampled,
+  HistogramBytesDense,  ///< histogram-phase bytes of dense count allreduces
 };
-inline constexpr usize kCounterCount = 10;
+inline constexpr usize kCounterCount = 14;
 
 constexpr std::string_view counter_name(Counter c) {
   switch (c) {
@@ -45,6 +53,10 @@ constexpr std::string_view counter_name(Counter c) {
     case Counter::CheckpointCount: return "checkpoint_count";
     case Counter::SuperstepsExecuted: return "supersteps_executed";
     case Counter::RecoveryCount: return "recovery_count";
+    case Counter::SampledRounds: return "sampled_rounds";
+    case Counter::SampleKeysGathered: return "sample_keys_gathered";
+    case Counter::HistogramBytesSampled: return "histogram_bytes_sampled";
+    case Counter::HistogramBytesDense: return "histogram_bytes_dense";
   }
   return "?";
 }

@@ -333,6 +333,49 @@ class Comm {
     return out;
   }
 
+  /// Sparse sampled-histogram gather (hybrid splitter search, PR 10):
+  /// semantically an allgatherv of each rank's sample block, but charged as
+  /// CostModel::sample_gather — the allgatherv wire cost plus the machine's
+  /// fixed per-sampled-round overhead — and published under its own
+  /// OpKind::SampleGather so the ledger, fault plans and the checkers can
+  /// tell sampled rounds from the dense refinement's collectives.
+  template <class T>
+  std::vector<T> sample_gatherv(std::span<const T> in,
+                                std::vector<usize>* counts = nullptr) {
+    check_trivial<T>();
+    auto& ep = collective(
+        detail::OpId::SampleGather, obs::OpClass::Gather, in.data(),
+        in.size() * sizeof(T), nullptr,
+        [&](detail::EpochArena& a) {
+          usize total = 0;
+          usize max_bytes = 0;
+          for (int r = 0; r < size(); ++r) {
+            total += a.slots[r].bytes;
+            max_bytes = std::max(max_bytes, a.slots[r].bytes);
+          }
+          a.result.resize(total);
+          usize off = 0;
+          for (int r = 0; r < size(); ++r) {
+            if (a.slots[r].bytes > 0)
+              std::memcpy(a.result.data() + off, a.slots[r].in,
+                          a.slots[r].bytes);
+            off += a.slots[r].bytes;
+          }
+          fill_out(a, 0, total);
+          return cost().sample_gather(size(), nodes(), max_bytes);
+        });
+    std::vector<T> out(ep.result.size() / sizeof(T));
+    if (!ep.result.empty())
+      std::memcpy(out.data(), ep.result.data(), ep.result.size());
+    if (counts) {
+      counts->resize(size());
+      for (int r = 0; r < size(); ++r)
+        (*counts)[r] = ep.slots[r].bytes / sizeof(T);
+    }
+    finish(ep);
+    return out;
+  }
+
   /// Gather variable-size contributions at `root` (member index). Non-root
   /// ranks get an empty vector.
   template <class T>

@@ -408,6 +408,53 @@ TEST(MutationTest, ElidedAllgatherInsideHistogramSortIsFlagged) {
   EXPECT_NE(v.location.find("Allgather"), std::string::npos);
 }
 
+TEST(CheckedRunTest, HybridHistogramSortIsViolationFree) {
+  // The sampled rounds add a SampleGather collective per round; its
+  // full-join happens-before shape must leave the hybrid sort as clean as
+  // the dense one.
+  for (int P : {4, 8}) {
+    auto shards = make_shards(P, 400);
+    const CheckReport rep = run_checked(P, [&](Comm& c) {
+      auto local = shards[c.rank()];
+      core::SortConfig scfg;
+      scfg.histogram = core::HistogramMode::Hybrid;
+      core::sort(c, local, scfg);
+      EXPECT_TRUE(core::is_globally_sorted(
+          c, std::span<const u64>(local.data(), local.size()), identity));
+    });
+    EXPECT_TRUE(rep.clean()) << "P=" << P << "\n" << rep.summary();
+    EXPECT_GT(rep.collectives_checked, 0u);
+  }
+}
+
+TEST(MutationTest, ElidedSampleGatherInsideHybridSortIsFlagged) {
+  // Detector teeth for the new collective: dropping the first sampled
+  // round's gather join leaves every rank consuming the other ranks'
+  // sample blocks unordered, which the checker must flag and attribute to
+  // the SampleGather op.
+  const int P = 8;
+  auto shards = make_shards(P, 300);
+  CheckConfig cc{.enabled = true};
+  cc.elide_op = obs::OpKind::SampleGather;
+  cc.elide_index = 0;  // the first sampled-round gather
+  const CheckReport rep = run_checked(
+      P,
+      [&](Comm& c) {
+        auto local = shards[c.rank()];
+        core::SortConfig scfg;
+        scfg.histogram = core::HistogramMode::Hybrid;
+        core::sort(c, local, scfg);
+      },
+      cc);
+  ASSERT_FALSE(rep.clean());
+  EXPECT_GT(rep.joins_elided, 0u);
+  const Violation& v = rep.violations[0];
+  EXPECT_EQ(v.kind, Violation::Kind::CollectiveData);
+  EXPECT_NE(v.prior.rank, v.current.rank);
+  EXPECT_NE(v.location.find("SampleGather"), std::string::npos)
+      << v.location;
+}
+
 TEST(MutationTest, EveryBaselineElisionIsFlagged) {
   // One representative synchronizing op per baseline; eliding it must be
   // noticed (the elided op's own data consumption becomes unordered).

@@ -244,6 +244,143 @@ TEST(Multiselect, SignedAndFloatKeys) {
 }
 
 // ---------------------------------------------------------------------------
+// Hybrid sampled histogramming (HSS-style rounds folded into the search).
+// ---------------------------------------------------------------------------
+
+/// find_splitters under `cfg`; the (replicated) result taken from rank 0.
+SplitterResult<u64> run_mode(int P, const std::vector<std::vector<u64>>& shards,
+                             const std::vector<usize>& targets,
+                             MultiselectConfig cfg) {
+  Team team({.nranks = P});
+  SplitterResult<u64> result;
+  team.run([&](Comm& c) {
+    auto res = find_splitters(c, std::span<const u64>(shards[c.rank()]),
+                              identity, std::span<const usize>(targets), cfg);
+    if (c.rank() == 0) result = res;
+  });
+  return result;
+}
+
+TEST(HistogramModes, IdenticalSplittersAtEpsilonZero) {
+  // Def. 4 with eps = 0 admits exactly one splitter key per boundary — the
+  // key whose tie class contains the target rank — so all three modes must
+  // land on the same key, boundary, and global bracket on every
+  // distribution, no matter how the sampled rounds narrowed the search.
+  constexpr int P = 16;
+  constexpr usize n = 256;
+  struct DistCase {
+    const char* name;
+    workload::Dist dist;
+  };
+  const DistCase dists[] = {
+      {"uniform", workload::Dist::Uniform},
+      {"zipf", workload::Dist::Zipf},
+      {"fewdistinct", workload::Dist::FewDistinct},
+      {"allequal", workload::Dist::AllEqual},
+  };
+  for (const DistCase& d : dists) {
+    SCOPED_TRACE(d.name);
+    workload::GenConfig gen;
+    gen.dist = d.dist;
+    const auto shards = make_shards(P, n, gen);
+    const auto targets = even_targets(P, n);
+    MultiselectConfig cfg;
+    cfg.histogram = HistogramMode::Dense;
+    const auto dense = run_mode(P, shards, targets, cfg);
+    EXPECT_EQ(dense.sampled_rounds, 0u);
+    EXPECT_EQ(dense.hist_bytes_sampled, 0u);
+    for (HistogramMode m : {HistogramMode::Sampled, HistogramMode::Hybrid}) {
+      SCOPED_TRACE(m == HistogramMode::Sampled ? "sampled" : "hybrid");
+      cfg.histogram = m;
+      check_splitters(P, shards, targets, cfg);  // Def. 4 oracle validity
+      const auto res = run_mode(P, shards, targets, cfg);
+      EXPECT_EQ(res.splitter, dense.splitter);
+      EXPECT_EQ(res.boundary, dense.boundary);
+      EXPECT_EQ(res.global_lb, dense.global_lb);
+      EXPECT_EQ(res.global_ub, dense.global_ub);
+    }
+  }
+}
+
+TEST(HistogramModes, EpsilonWindowHoldsAcrossModes) {
+  constexpr int P = 16;
+  constexpr usize n = 256;
+  for (workload::Dist d : {workload::Dist::Uniform, workload::Dist::Zipf,
+                           workload::Dist::FewDistinct}) {
+    workload::GenConfig gen;
+    gen.dist = d;
+    const auto shards = make_shards(P, n, gen);
+    for (HistogramMode m : {HistogramMode::Dense, HistogramMode::Sampled,
+                            HistogramMode::Hybrid}) {
+      MultiselectConfig cfg;
+      cfg.histogram = m;
+      cfg.epsilon = 0.1;
+      check_splitters(P, shards, even_targets(P, n), cfg);
+    }
+  }
+}
+
+TEST(HistogramModes, HybridConvergesFasterOnUniform) {
+  // The point of the sampled rounds: on a uniform key space the sampled CDF
+  // shrinks every bracket multiplicatively per round, so the hybrid resolves
+  // in a handful of rounds where dense bisection needs ~log2(key range), and
+  // moves strictly fewer probe counts through the allreduce.
+  constexpr int P = 16;
+  constexpr usize n = 1024;
+  workload::GenConfig gen;
+  gen.dist = workload::Dist::Uniform;
+  const auto shards = make_shards(P, n, gen);
+  const auto targets = even_targets(P, n);
+  const auto dense = run_mode(P, shards, targets, {});
+  MultiselectConfig hcfg;
+  hcfg.histogram = HistogramMode::Hybrid;
+  const auto hybrid = run_mode(P, shards, targets, hcfg);
+  EXPECT_GT(hybrid.sampled_rounds, 0u);
+  EXPECT_GT(hybrid.sample_keys_total, 0u);
+  EXPECT_GT(hybrid.hist_bytes_sampled, 0u);
+  EXPECT_LT(hybrid.iterations, dense.iterations);
+  EXPECT_LT(hybrid.probes_total, dense.probes_total);
+  EXPECT_LT(hybrid.hist_bytes_dense, dense.hist_bytes_dense);
+  // One per-round entry per executed round, sampled rounds included.
+  EXPECT_EQ(hybrid.round_probes.size(), hybrid.iterations);
+  EXPECT_EQ(dense.round_probes.size(), dense.iterations);
+}
+
+TEST(HistogramModes, SampledStallsFallBackToDenseOnAllEqual) {
+  // An all-equal key space gives the sampler nothing to narrow: every
+  // sampled key is the same, the per-round mass cannot shrink, and the
+  // stall detector must hand over to dense count refinement, which resolves
+  // ties through counts in very few rounds (cf. AllEqualKeysResolveViaTies).
+  constexpr int P = 8;
+  workload::GenConfig gen;
+  gen.dist = workload::Dist::AllEqual;
+  const auto shards = make_shards(P, 400, gen);
+  MultiselectConfig cfg;
+  cfg.histogram = HistogramMode::Hybrid;
+  usize iters = 0;
+  check_splitters(P, shards, even_targets(P, 400), cfg, &iters);
+  EXPECT_LE(iters, 5u);
+}
+
+TEST(HistogramModes, OversampleKnobIsHonoured) {
+  // A larger oversampling factor gathers more keys per sampled round.
+  constexpr int P = 8;
+  workload::GenConfig gen;
+  const auto shards = make_shards(P, 512, gen);
+  const auto targets = even_targets(P, 512);
+  MultiselectConfig lo, hi;
+  lo.histogram = hi.histogram = HistogramMode::Hybrid;
+  lo.oversample = 4;
+  hi.oversample = 32;
+  const auto small = run_mode(P, shards, targets, lo);
+  const auto big = run_mode(P, shards, targets, hi);
+  ASSERT_GT(small.sampled_rounds, 0u);
+  ASSERT_GT(big.sampled_rounds, 0u);
+  EXPECT_GT(big.sample_keys_total / big.sampled_rounds,
+            small.sample_keys_total / small.sampled_rounds);
+}
+
+// ---------------------------------------------------------------------------
 // Exchange (Alg. 4).
 // ---------------------------------------------------------------------------
 

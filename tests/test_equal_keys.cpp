@@ -95,6 +95,58 @@ TEST(EqualKeys, TwoDistinctValuesAcrossExchangeAlgorithms) {
   }
 }
 
+/// Per-rank sorted output of core::sort under `cfg` — for cross-config
+/// identity checks.
+std::vector<std::vector<u64>> sorted_output(const SortConfig& cfg,
+                                            workload::GenConfig gen) {
+  constexpr int P = 16;
+  constexpr usize kPerRank = 256;
+  std::vector<std::vector<u64>> shards(P);
+  for (int r = 0; r < P; ++r)
+    shards[r] = workload::generate_u64(gen, r, P, kPerRank);
+  std::vector<std::vector<u64>> out(P);
+  Team team({.nranks = P});
+  team.run([&](Comm& c) {
+    auto local = shards[c.rank()];
+    sort(c, local, cfg);
+    out[c.rank()] = std::move(local);
+  });
+  return out;
+}
+
+TEST(EqualKeys, HistogramModesProduceByteIdenticalOutput) {
+  // At eps = 0 the splitter per boundary is unique (the key whose tie class
+  // contains the target rank), so the sampled and hybrid histogram modes
+  // must produce exactly the per-rank output of the dense mode — including
+  // on tie-heavy inputs where the sampled rounds stall and fall back.
+  struct DistCase {
+    const char* name;
+    workload::Dist dist;
+    u64 alphabet;
+  };
+  const DistCase dists[] = {
+      {"allequal", workload::Dist::AllEqual, 16},
+      {"fewdistinct-2", workload::Dist::FewDistinct, 2},
+      {"fewdistinct-16", workload::Dist::FewDistinct, 16},
+      {"zipf", workload::Dist::Zipf, 16},
+  };
+  for (const DistCase& d : dists) {
+    SCOPED_TRACE(d.name);
+    workload::GenConfig gen;
+    gen.dist = d.dist;
+    gen.alphabet = d.alphabet;
+    SortConfig dense;  // HistogramMode::Dense is the default
+    const auto base = sorted_output(dense, gen);
+    for (HistogramMode m : {HistogramMode::Sampled, HistogramMode::Hybrid}) {
+      SCOPED_TRACE(m == HistogramMode::Sampled ? "sampled" : "hybrid");
+      SortConfig cfg;
+      cfg.histogram = m;
+      check_equal_key_sort(cfg, gen);  // full output contract
+      EXPECT_EQ(sorted_output(cfg, gen), base);
+    }
+  }
+}
+
 TEST(EqualKeys, AllEqualWithOverlapMergeAndPackedPath) {
   workload::GenConfig gen;
   gen.dist = workload::Dist::AllEqual;

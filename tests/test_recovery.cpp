@@ -541,5 +541,39 @@ TEST(SkewedInputs, DuplicateHeavyAndZipfSurviveFaults) {
   }
 }
 
+// --- hybrid histogramming under faults (PR 10) -------------------------------
+
+TEST(HybridHistogram, RecoveryModesSurviveCrashInSampledRounds) {
+  // Crash inside the histogram phase while the hybrid's sampled rounds are
+  // running: the SplitterResult checkpointed at the superstep boundary
+  // carries the sampled-round telemetry, and both recovery modes must
+  // replay the search deterministically (same sample_seed) to the same
+  // sorted output as a fault-free run.
+  constexpr int P = 8;
+  constexpr usize kPerRank = 128;
+  const auto original = random_partitions(P, kPerRank, 41);
+  const auto expected = flatten_sorted(original);
+  core::SortConfig scfg;
+  scfg.histogram = core::HistogramMode::Hybrid;
+
+  for (core::RecoveryMode mode : {core::RecoveryMode::ResumeCheckpoint,
+                                  core::RecoveryMode::ShrinkSurvivors}) {
+    SCOPED_TRACE(core::recovery_mode_name(mode));
+    // Op 1 of the histogram phase is a sampled-round SampleGather.
+    auto plan = std::make_shared<FaultPlan>();
+    plan->crash_rank_at_phase_op(1, net::Phase::Histogram, 1);
+    Team team(cfg_with(P, plan, /*watchdog_s=*/20.0));
+    auto parts = original;
+    core::ResilienceConfig rcfg;
+    rcfg.mode = mode;
+    core::ResilienceReport rep;
+    (void)core::sort_resilient(team, parts, scfg, rcfg, &rep);
+    EXPECT_GE(rep.failures + rep.recoveries, 1u);  // the crash was seen
+    EXPECT_EQ(flatten(parts), expected);
+    for (const auto& p : parts)
+      EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+  }
+}
+
 }  // namespace
 }  // namespace hds::runtime

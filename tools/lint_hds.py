@@ -71,6 +71,7 @@ COMM_OP_METHODS = [
     "allreduce",
     "allgather",
     "allgatherv",
+    "sample_gatherv",
     "gatherv",
     "alltoall",
     "alltoallv",

@@ -6,6 +6,7 @@ One entry point replaces the inline python blocks ci.sh used to carry:
     validate_bench.py local_sort BENCH_local_sort.json
     validate_bench.py exchange   BENCH_exchange.json
     validate_bench.py recovery   BENCH_recovery.json
+    validate_bench.py histogram  BENCH_histogram.json
     validate_bench.py ledger     ledger.json [ledger2.json ...]
 
 Kinds and their gates (unchanged from the historical ci.sh heredocs):
@@ -18,6 +19,12 @@ Kinds and their gates (unchanged from the historical ci.sh heredocs):
   recovery    cell shape; fault-free checkpoint overhead <= 10% at
               P in {4, 8, 16}; ResumeCheckpoint beats RestartFull for
               crashes at or after the exchange superstep.
+  histogram   cell shape of the PR 10 histogram-mode sweep
+              (BENCH_histogram.json); every (dist, epsilon, P) cell
+              carries all three modes; hybrid must cut histogram-phase
+              sim time >= 1.2x AND probe volume vs dense on the canonical
+              uniform u64 P=16 eps=0.01 cell, and may never regress the
+              makespan by > 5% in any cell.
   ledger      hds-run-ledger schema check: versioned header, op-class /
               sample / feature cross-consistency, and the fit never losing
               to the probe surrogate (err2_fit <= err2_default).
@@ -153,6 +160,48 @@ def check_recovery(path: str) -> None:
           "beats restart at/after the exchange superstep")
 
 
+def check_histogram(path: str) -> None:
+    cells = load(path)
+    require(isinstance(cells, list) and bool(cells),
+            f"{path}: empty or malformed JSON")
+    by_cell: dict[tuple, dict[str, dict]] = {}
+    for c in cells:
+        for k in ("type", "dist", "epsilon", "nranks", "mode", "iterations",
+                  "sampled_rounds", "probes_total", "hist_bytes_sampled",
+                  "hist_bytes_dense", "histogram_s", "makespan_s"):
+            require(k in c, f"missing field {k}: {c}")
+        require(c["mode"] in ("dense", "sampled", "hybrid"), str(c))
+        require(c["histogram_s"] > 0.0 and c["makespan_s"] > 0.0, str(c))
+        require(c["iterations"] >= 1, str(c))
+        if c["mode"] == "dense":
+            require(c["sampled_rounds"] == 0 and
+                    c["hist_bytes_sampled"] == 0,
+                    f"dense cell with sampled traffic: {c}")
+        by_cell.setdefault(
+            (c["dist"], c["epsilon"], c["nranks"]), {})[c["mode"]] = c
+    for key, modes in by_cell.items():
+        require(set(modes) == {"dense", "sampled", "hybrid"},
+                f"cell {key} missing modes: has {sorted(modes)}")
+        dense, hybrid = modes["dense"], modes["hybrid"]
+        ratio = hybrid["makespan_s"] / dense["makespan_s"]
+        require(ratio <= 1.05,
+                f"hybrid regresses makespan {ratio:.2f}x at {key}")
+    gated = by_cell.get(("uniform", 0.01, 16))
+    require(gated is not None, "no uniform eps=0.01 P=16 cell")
+    dense, hybrid = gated["dense"], gated["hybrid"]
+    speedup = dense["histogram_s"] / hybrid["histogram_s"]
+    require(speedup >= 1.2,
+            f"hybrid histogram phase only {speedup:.2f}x vs dense on "
+            "uniform u64 P=16 eps=0.01 (< 1.2x)")
+    require(hybrid["probes_total"] < dense["probes_total"],
+            f"hybrid probed {hybrid['probes_total']} candidates vs dense "
+            f"{dense['probes_total']} on the gated cell")
+    print(f"perf gate OK: hybrid histogram phase {speedup:.2f}x faster than "
+          f"dense (u64 uniform, P=16, eps=0.01; probes "
+          f"{hybrid['probes_total']} vs {dense['probes_total']}), makespan "
+          f"within 5% on all {len(by_cell)} cells")
+
+
 def check_ledger(path: str) -> None:
     led = load(path)
     require(isinstance(led, dict), f"{path}: not a JSON object")
@@ -250,6 +299,7 @@ KINDS = {
     "local_sort": check_local_sort,
     "exchange": check_exchange,
     "recovery": check_recovery,
+    "histogram": check_histogram,
     "ledger": check_ledger,
     "model-report": check_model_report,
 }
